@@ -1,0 +1,41 @@
+"""Ablation — ILP layout vs greedy first-fit (DESIGN.md §5).
+
+Related work compiles *fixed* programs with greedy heuristics; the
+elastic problem rewards global optimization: greedy commits memory to
+the structures it meets first and cannot trade them against later,
+higher-utility ones. The ILP must achieve at least the greedy utility on
+every program, and strictly more on NetCache (where the weighted
+trade-off matters).
+"""
+
+import pytest
+
+from repro.apps import netcache_source
+from repro.eval import compare_greedy_vs_ilp
+from repro.pisa.resources import small_target, tofino
+from repro.structures import CMS_SOURCE
+
+
+def test_greedy_vs_ilp_cms(benchmark):
+    target = small_target(stages=6, memory_kb=32)
+    result = benchmark.pedantic(
+        compare_greedy_vs_ilp, args=(CMS_SOURCE, target),
+        kwargs={"name": "cms"}, rounds=1, iterations=1,
+    )
+    print("\n" + result.format())
+    assert result.utility_gain >= 1.0
+
+
+def test_greedy_vs_ilp_netcache(benchmark):
+    result = benchmark.pedantic(
+        compare_greedy_vs_ilp, args=(netcache_source(), tofino()),
+        kwargs={"name": "netcache"}, rounds=1, iterations=1,
+    )
+    print("\n" + result.format())
+    print(f"  ILP symbols:    {result.ilp_symbols}")
+    print(f"  greedy symbols: {result.greedy_symbols}")
+    # The ILP beats greedy on the weighted NetCache objective.
+    assert result.utility_gain > 1.0
+    # Greedy is much faster — that's its defense; report, don't assert
+    # tightly (CI noise), beyond a sanity bound.
+    assert result.greedy_seconds < result.ilp_seconds

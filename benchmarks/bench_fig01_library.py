@@ -1,0 +1,29 @@
+"""Figure 1 — the reusable module library, demonstrated elastic.
+
+Paper claim: the catalogued structures (key-value store/hash table,
+hash-based matrix/sketch, hierarchical sketch, Bloom filter, ID-indexed
+table) are reusable across applications *because* they stretch per
+target. Every module must compile unchanged on a small and on a
+Tofino-scale target, stretching its memory footprint in between.
+"""
+
+from repro.eval import run_library_demo
+
+
+def test_fig01_library_stretches(benchmark):
+    demo = benchmark.pedantic(run_library_demo, rounds=1, iterations=1)
+    print()
+    print(demo.format())
+
+    assert len(demo.rows) == 7  # the full Figure-1 catalogue
+    for row in demo.rows:
+        # Same source, both targets: the large target must hold at least
+        # 10x the structure memory of the small one.
+        assert row.small_bits > 0, row.module
+        assert row.large_bits >= 10 * row.small_bits, row.module
+
+    # Elasticity is per-dimension too: the CMS stretches columns, and its
+    # rows respect the diminishing-returns assume cap.
+    cms = demo.row("cms")
+    assert cms.large_symbols["cms_cols"] > cms.small_symbols["cms_cols"]
+    assert cms.large_symbols["cms_rows"] <= 4

@@ -1,0 +1,46 @@
+"""Figure 9 — loop-unrolling upper bounds (the worked example).
+
+Paper claim: on a 3-stage target the CMS loops unroll at most twice —
+K = 3 creates a simple path of length 4 (incr, min, min, min) that cannot
+fit. We regenerate the per-K path lengths, the K = 3 dependency graph,
+and the bound, then sweep the stage count to show the bound tracking S-1.
+"""
+
+import dataclasses
+
+from repro.eval import run_unroll_example
+from repro.eval.tables import render_table
+from repro.pisa.resources import toy_three_stage
+
+
+def test_fig09_unroll_bound(benchmark):
+    facts = benchmark.pedantic(run_unroll_example, rounds=3, iterations=1)
+    print()
+    print(facts.format())
+
+    assert facts.bound == 2
+    assert facts.criterion == "stages"
+    assert facts.path_lengths == [2, 3, 4]
+    # The K=3 graph matches Figure 9: per-iteration precedence plus a
+    # min-min exclusion clique.
+    assert len(facts.k3_precedence) == 3
+    assert len(facts.k3_exclusion) == 3
+
+
+def test_fig09_bound_tracks_stage_count(benchmark):
+    rows = []
+    for stages in range(3, 9):
+        target = dataclasses.replace(toy_three_stage(), stages=stages)
+        facts = benchmark.pedantic(
+            run_unroll_example, args=(target,), rounds=1, iterations=1,
+        ) if stages == 3 else run_unroll_example(target)
+        rows.append([stages, facts.bound, facts.criterion])
+        # min-chain: K iterations need K+1 stages -> bound = S - 1, until
+        # the library's diminishing-returns assume (rows <= 4) caps it.
+        assert facts.bound == min(stages - 1, 4)
+        # S <= 4: the path criterion fires at K = S; from S = 5 the
+        # assume cap (4) is reached before any criterion can fire.
+        assert facts.criterion == ("stages" if stages <= 4 else "assume")
+    print()
+    print(render_table(["stages S", "bound", "criterion"], rows,
+                       title="Unroll bound vs stage count (CMS example)"))

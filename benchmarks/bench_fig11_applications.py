@@ -1,0 +1,41 @@
+"""Figure 11 — the application table.
+
+Paper claims: (i) the elastic P4All programs are shorter than their
+concrete P4 equivalents, dramatically so for loop-heavy applications
+(NetCache, SketchLearn) and modestly for macro-engineered ones
+(Precision, ConQuest); (ii) compile times range from well under a second
+to ~15 s with the ILP solve dominating; (iii) NetCache produces the
+largest ILP of the four.
+"""
+
+from repro.eval import run_app_benchmark
+
+
+def test_fig11_application_table(benchmark):
+    bench = benchmark.pedantic(run_app_benchmark, rounds=1, iterations=1)
+    print()
+    print(bench.format())
+    for row in bench.rows:
+        syms = ", ".join(f"{k}={v}" for k, v in sorted(row.symbol_values.items()))
+        print(f"  {row.name}: {syms}")
+
+    # (i) elastic sources are shorter everywhere; NetCache/SketchLearn
+    # see the big reductions.
+    for row in bench.rows:
+        assert row.p4all_loc < row.p4_loc, row.name
+    assert bench.row("NetCache").loc_ratio > 1.5
+    assert bench.row("SketchLearn").loc_ratio > 1.5
+
+    # (ii) compile times small; the ILP solve is the dominant phase for
+    # the biggest program.
+    for row in bench.rows:
+        assert row.compile_seconds < 60, row.name
+    heaviest = max(bench.rows, key=lambda r: r.compile_seconds)
+    assert heaviest.solve_seconds > 0.5 * heaviest.compile_seconds
+
+    # (iii) NetCache (two elastic modules + routing) has the largest ILP.
+    netcache = bench.row("NetCache")
+    assert all(
+        netcache.ilp_variables >= row.ilp_variables
+        for row in bench.rows
+    )

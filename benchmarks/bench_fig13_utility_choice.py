@@ -1,0 +1,32 @@
+"""Figure 13 — the utility function decides the resource split.
+
+Paper claims: at M = 1.75 Mb/stage with an 8 Mb floor reserved for the
+key-value store, weighting the utility toward the CMS vs toward the KVS
+flips which structure receives the extra memory; both configurations
+stretch to use (nearly) all available resources.
+"""
+
+from repro.eval import run_utility_comparison
+
+
+def test_fig13_utility_flip(benchmark):
+    comparison = benchmark.pedantic(run_utility_comparison, rounds=1, iterations=1)
+    print()
+    print(comparison.format())
+
+    cms_weighted, kv_weighted = comparison.outcomes
+    assert cms_weighted.label.startswith("0.6*CMS")
+
+    # The KVS floor holds in both configurations.
+    assert cms_weighted.kv_bits >= 8 * (1 << 20)
+    assert kv_weighted.kv_bits >= 8 * (1 << 20)
+
+    # Flipping the weights moves memory between the structures: the
+    # KVS-weighted run gives the store strictly more, the sketch less
+    # (or equal, if a cap binds).
+    assert kv_weighted.kv_bits > cms_weighted.kv_bits
+    assert kv_weighted.cms_bits <= cms_weighted.cms_bits
+
+    # Both stretch to use the bulk of the pipeline's register memory.
+    assert cms_weighted.memory_utilization > 0.75
+    assert kv_weighted.memory_utilization > 0.75

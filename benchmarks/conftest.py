@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one paper table/figure (DESIGN.md §4): it
+times the harness via pytest-benchmark, prints the paper-style table
+(visible with ``-s``; also captured in the benchmark run logs), and
+asserts the figure's *shape* claims.
+"""

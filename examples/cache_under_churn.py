@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""NetCache under hot-set churn: the sketch re-identifies moving keys.
+
+Dynamic popularity is NetCache's motivating scenario: the hot key set
+drifts, and the switch cache must follow it — the sketch spots the new
+hot keys, the controller promotes them, evicting the coldest occupants
+(and periodically resets the sketch so stale counts fade).
+
+This demo runs the compiled NetCache over a churning Zipf workload and
+prints the per-phase hit rate: it dips right after each rotation and
+recovers as the replacement machinery catches up.
+
+Run:  python examples/cache_under_churn.py
+"""
+
+import dataclasses
+
+from repro.apps import NetCacheApp
+from repro.pisa import tofino
+from repro.workloads import ChurningZipf
+
+
+def main() -> None:
+    target = dataclasses.replace(
+        tofino(), stages=6, memory_bits_per_stage=64 * 1024
+    )
+    print(f"Compiling NetCache for: {target.describe()}")
+    app = NetCacheApp(target, hot_threshold=2)
+    capacity = app.kv_rows * app.kv_cols
+    print(f"  cache capacity {capacity} items, "
+          f"sketch {app.cms_rows}x{app.cms_cols}\n")
+
+    workload = ChurningZipf(
+        universe=20_000, alpha=1.05, phase_packets=1_500,
+        churn=0.5, hot_ranks=2_000, seed=21,
+    )
+    phases = 8
+    print(f"{phases} phases x 1500 requests, 50% hot-set churn between phases:")
+    for phase in range(phases):
+        keys = workload.sample(1_500)
+        stats = app.run_trace(keys)
+        # Controller hygiene: reset the sketch each phase so stale hot
+        # keys stop looking hot (NetCache's periodic report/reset cycle).
+        for row in range(app.cms_rows):
+            app.pipeline.registers.get(f"cms_sketch[{row}]").clear()
+        print(
+            f"  phase {phase + 1}: hit rate {stats.hit_rate:6.1%}  "
+            f"(+{stats.insertions} inserted, {stats.evictions} evicted)"
+        )
+    print("\nHit rate recovers after every rotation: the elastic sketch "
+          "keeps the\ncache tracking the moving hot set.")
+
+
+if __name__ == "__main__":
+    main()

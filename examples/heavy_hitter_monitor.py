@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""PRECISION heavy-hitter monitoring on a heavy-tailed flow trace.
+
+Compiles the elastic PRECISION program (counting hash-table module),
+replays a synthetic backbone-style trace with probabilistic
+recirculation, and scores the detected heavy hitters against ground
+truth (precision / recall).
+
+Run:  python examples/heavy_hitter_monitor.py
+"""
+
+import dataclasses
+
+from repro.apps import PrecisionApp
+from repro.pisa import tofino
+from repro.workloads import synthesize_trace
+
+
+def main() -> None:
+    target = dataclasses.replace(
+        tofino(), stages=6, memory_bits_per_stage=64 * 1024
+    )
+    print(f"Compiling PRECISION for: {target.describe()}")
+    app = PrecisionApp(target, seed=11)
+    print(f"  table: {app.rows} rows x {app.cols} slots\n")
+
+    trace = synthesize_trace(
+        flows=1_500, mean_packets_per_flow=10, pareto_shape=1.15, seed=12
+    )
+    print(f"Replaying {len(trace):,} packets of {len(trace.flow_sizes):,} flows...")
+    stats = app.run_trace(trace.flow_ids)
+    print(
+        f"  tracked-hit rate {stats.tracked_hits / stats.packets:.1%}, "
+        f"recirculation rate {stats.recirculation_rate:.2%}\n"
+    )
+
+    threshold = 80
+    truth = trace.heavy_flows(threshold)
+    detected = app.heavy_keys(threshold // 2)
+    true_positives = truth & detected
+    recall = len(true_positives) / len(truth) if truth else 1.0
+    precision = len(true_positives) / len(detected) if detected else 1.0
+    print(f"Heavy hitters (>= {threshold} packets): {len(truth)} flows")
+    print(f"  detected {len(detected)}; recall {recall:.1%}, "
+          f"precision {precision:.1%}")
+
+    biggest = max(trace.flow_sizes, key=trace.flow_sizes.get)
+    print(
+        f"\nLargest flow {biggest}: true size {trace.flow_sizes[biggest]}, "
+        f"switch counter {app.count_of(biggest)} "
+        "(undercounts only the pre-installation packets)"
+    )
+
+
+if __name__ == "__main__":
+    main()

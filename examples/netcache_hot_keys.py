@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""NetCache end-to-end: elastic cache + sketch serving a skewed workload.
+
+Composes the elastic NetCache from the library's count-min-sketch and
+key-value-store modules, compiles it, loads the result into the PISA
+pipeline simulator, and replays a Zipf-distributed key-request trace
+with the NetCache controller promoting hot keys into the switch cache.
+The achieved hit rate is compared against the workload's oracle bound
+(a cache of the same size holding exactly the hottest keys).
+
+Run:  python examples/netcache_hot_keys.py
+"""
+
+import dataclasses
+
+from repro.apps import NetCacheApp
+from repro.pisa import tofino
+from repro.workloads import ZipfGenerator
+
+
+def main() -> None:
+    # A reduced Tofino keeps this demo snappy; drop the overrides to
+    # compile for the full ten-stage target.
+    target = dataclasses.replace(
+        tofino(), stages=6, memory_bits_per_stage=64 * 1024
+    )
+    print(f"Compiling NetCache for: {target.describe()}")
+    app = NetCacheApp(target, hot_threshold=8)
+    print(
+        f"  sketch: {app.cms_rows} rows x {app.cms_cols} cols; "
+        f"cache: {app.kv_rows} rows x {app.kv_cols} slots "
+        f"({app.kv_rows * app.kv_cols} items)\n"
+    )
+
+    gen = ZipfGenerator(universe=20_000, alpha=1.1, seed=1)
+    phases = 4
+    packets_per_phase = 2_000
+    print(f"Replaying {phases} x {packets_per_phase} Zipf requests:")
+    for phase in range(phases):
+        stats = app.run_trace(gen.sample(packets_per_phase))
+        print(
+            f"  phase {phase + 1}: hit rate {stats.hit_rate:6.1%}  "
+            f"(+{stats.insertions} keys cached, "
+            f"{stats.rejected_insertions} rejected)"
+        )
+
+    capacity = app.kv_rows * app.kv_cols
+    oracle = gen.optimal_hit_rate(capacity)
+    print(f"\nOracle hit rate for a {capacity}-item cache: {oracle:.1%}")
+    print("The warm cache converges toward the oracle as the sketch")
+    print("identifies the hot keys.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Elasticity = portability: one source, many targets.
+
+The paper's §8: elastic programs "are portable — elastic software can be
+recompiled for a variety of different targets". This example compiles
+the *same* unmodified Bloom-filter module for three targets of very
+different capacity and shows how the structure stretches, plus how the
+resulting false-positive behavior improves with the extra space.
+
+Run:  python examples/portability.py
+"""
+
+import dataclasses
+
+from repro.core import compile_source
+from repro.eval import render_table
+from repro.pisa import Packet, Pipeline, small_target, tofino, toy_three_stage
+from repro.structures import BLOOM_SOURCE
+
+
+def false_positive_rate(compiled, inserted: int = 300, probes: int = 2_000) -> float:
+    """Insert keys then probe disjoint ones through the pipeline."""
+    pipe = Pipeline(compiled)
+    for key in range(1, inserted + 1):
+        pipe.process(Packet(fields={"flow_id": key}))
+    false_hits = 0
+    for key in range(10_000, 10_000 + probes):
+        result = pipe.process(Packet(fields={"flow_id": key}))
+        # 'member' is pre-insertion membership: a hit on a never-seen key
+        # is a false positive. (The probe also inserts; keys are unique.)
+        false_hits += int(result.get("meta.bf_member"))
+    return false_hits / probes
+
+
+def main() -> None:
+    targets = [
+        toy_three_stage(),
+        small_target(stages=6, memory_kb=16),
+        dataclasses.replace(tofino(), memory_bits_per_stage=256 * 1024),
+    ]
+    rows = []
+    for target in targets:
+        compiled = compile_source(BLOOM_SOURCE, target, source_name="bloom.p4all")
+        syms = compiled.symbol_values
+        fpr = false_positive_rate(compiled)
+        rows.append([
+            target.name,
+            target.stages,
+            target.memory_bits_per_stage,
+            f"{syms['bf_hashes']} x {syms['bf_bits']}",
+            compiled.total_register_bits(),
+            f"{fpr:.2%}",
+        ])
+    print(render_table(
+        ["target", "stages", "M (bits/stage)", "filter shape",
+         "filter bits", "false-positive rate"],
+        rows,
+        title="One elastic Bloom filter, three targets (300 keys inserted)",
+    ))
+    print("\nNo source changes between rows — the compiler re-stretches the")
+    print("structure to each target, and accuracy follows the capacity.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The full Figure-2 path: bytes → parser → pipeline → deparser → bytes.
+
+Builds raw Ethernet/IPv4/TCP frames, runs them through the programmable
+parser, feeds the extracted 5-tuple (hashed into a flow id) to a
+compiled elastic sketch, and re-emits the frames with a decremented TTL
+via the deparser — demonstrating that the PISA substrate covers the
+whole architecture, not just the match-action pipeline.
+
+Run:  python examples/raw_packet_path.py
+"""
+
+import struct
+
+from repro import Packet, Pipeline, compile_source
+from repro.pisa import Deparser, PacketParser, small_target
+from repro.structures import CMS_SOURCE
+
+
+def build_frame(src: int, dst: int, sport: int, dport: int) -> bytes:
+    eth = (0xAABBCCDDEEFF).to_bytes(6, "big")
+    eth += (0x112233445566).to_bytes(6, "big") + (0x0800).to_bytes(2, "big")
+    ipv4 = bytes([0x45, 0]) + struct.pack(">HHHBBH", 40, 0, 0, 64, 6, 0)
+    ipv4 += src.to_bytes(4, "big") + dst.to_bytes(4, "big")
+    tcp = struct.pack(">HHIIHHHH", sport, dport, 0, 0, 0x5000, 0xFFFF, 0, 0)
+    return eth + ipv4 + tcp
+
+
+def main() -> None:
+    compiled = compile_source(
+        CMS_SOURCE, small_target(stages=6, memory_kb=32), source_name="cms"
+    )
+    pipe = Pipeline(compiled)
+    parser = PacketParser.ethernet_ipv4()
+    deparser = Deparser(parser)
+
+    frames = [
+        build_frame(0x0A000001, 0x0A000063, 4000 + (i % 3), 80)
+        for i in range(9)
+    ]
+    print(f"Processing {len(frames)} raw frames through parse -> "
+          f"{compiled.symbol_values['cms_rows']}-row sketch -> deparse:\n")
+    for frame in frames:
+        parsed = parser.parse(frame)
+        flow_id = (
+            parsed.fields["ipv4.src"]
+            ^ parsed.fields["ipv4.dst"]
+            ^ (parsed.fields["tcp.sport"] << 16 | parsed.fields["tcp.dport"])
+        ) & 0xFFFFFFFF
+        result = pipe.process(Packet(fields={"flow_id": flow_id}))
+        out = deparser.emit(
+            parsed,
+            overrides={"ipv4.ttl": parsed.fields["ipv4.ttl"] - 1},
+        )
+        out_ttl = parser.parse(out).fields["ipv4.ttl"]
+        print(
+            f"  5-tuple hash {flow_id:#010x}: sketch count "
+            f"{result.get('meta.cms_min')}, TTL {parsed.fields['ipv4.ttl']}"
+            f" -> {out_ttl}, {len(out)} bytes out"
+        )
+    print("\nThree TCP flows (3 packets each): per-flow counts reach 3.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Program analysis: elaboration, dependencies, and unroll bounds.
+
+Pipeline (paper §4.2):
+
+1. :func:`build_ir` flattens the ingress control into ordered segments;
+2. :func:`instantiate` expands elastic segments at chosen iteration counts;
+3. :func:`build_dependency_graph` groups same-register actions and adds
+   precedence/exclusion edges;
+4. :func:`compute_upper_bounds` finds, per symbolic value, the largest
+   unroll count that could possibly fit on the target.
+"""
+
+from .assumes import NumericBounds, extract_numeric_bounds
+from .bounds_check import (
+    IndexBoundsError,
+    IndexDiagnostic,
+    check_index_bounds,
+    collect_index_diagnostics,
+)
+from .depgraph import DependencyGraph, DepNode
+from .dot import graph_to_dot
+from .liveness import FieldLiveness, LivenessReport, analyze_phv_liveness
+from .dependencies import AnalysisError, build_dependency_graph, classify_pair
+from .ir import (
+    ActionInstance,
+    ElasticSegment,
+    InelasticSegment,
+    ProgramIR,
+    UnitTemplate,
+    UpdateKind,
+    build_ir,
+    field_key,
+    instantiate,
+    substitute,
+)
+from .unroll import (
+    BoundResult,
+    UnrollBounds,
+    UnrollOptions,
+    compute_upper_bounds,
+)
+
+__all__ = [
+    "NumericBounds",
+    "IndexBoundsError",
+    "IndexDiagnostic",
+    "check_index_bounds",
+    "collect_index_diagnostics",
+    "extract_numeric_bounds",
+    "DependencyGraph",
+    "DepNode",
+    "graph_to_dot",
+    "FieldLiveness",
+    "LivenessReport",
+    "analyze_phv_liveness",
+    "AnalysisError",
+    "build_dependency_graph",
+    "classify_pair",
+    "ActionInstance",
+    "ElasticSegment",
+    "InelasticSegment",
+    "ProgramIR",
+    "UnitTemplate",
+    "UpdateKind",
+    "build_ir",
+    "field_key",
+    "instantiate",
+    "substitute",
+    "BoundResult",
+    "UnrollBounds",
+    "UnrollOptions",
+    "compute_upper_bounds",
+]

@@ -1,0 +1,165 @@
+"""Static bounds checking of elastic-array indices (§7 future work).
+
+The paper's verification outlook: "we hope to verify that all indices
+used with symbolic arrays are in bounds." After elaboration every index
+into an elastic metadata array or register family is a constant (the
+loop variable substituted per iteration), so the property is decidable
+by a walk over the unrolled program:
+
+* metadata array ``meta.f[i]`` — the folded index must lie in
+  ``[0, extent)`` where the extent is the array's symbolic bound (checked
+  against the iteration count in force);
+* register instance ``r[i]`` — the folded index must lie in
+  ``[0, count)``;
+* a non-constant index (anything the fold cannot reduce) is reported:
+  data-dependent indexing of elastic arrays is not implementable on
+  PISA metadata.
+
+``check_index_bounds`` raises :class:`IndexBoundsError` on the first
+violation; ``collect_index_diagnostics`` returns all of them (used by the
+compiler driver for error reporting and by tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+from ..lang.errors import SemanticError
+from ..lang.symbols import ProgramInfo, eval_static
+from .ir import ActionInstance, ProgramIR, instantiate
+
+__all__ = [
+    "IndexBoundsError",
+    "IndexDiagnostic",
+    "collect_index_diagnostics",
+    "check_index_bounds",
+]
+
+
+class IndexBoundsError(SemanticError):
+    """An elastic-array index is provably out of bounds (or non-static)."""
+
+
+@dataclass(frozen=True)
+class IndexDiagnostic:
+    """One out-of-bounds (or unprovable) index occurrence."""
+
+    unit: str          # action-instance label
+    array: str         # array/register name
+    index: int | None  # folded value (None = not a constant)
+    extent: int        # allowed extent
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _elastic_extents(info: ProgramInfo, counts: dict[str, int]) -> dict[str, int]:
+    """Extent per elastic metadata array, at the given iteration counts."""
+    env = dict(info.consts)
+    env.update(counts)
+    extents: dict[str, int] = {}
+    for fd in info.metadata.values():
+        if fd.array_size is None:
+            continue
+        try:
+            extents[fd.name] = int(eval_static(fd.array_size, env))
+        except SemanticError:
+            continue  # depends on a symbolic without a count: skip
+    return extents
+
+
+def _register_counts(info: ProgramInfo, counts: dict[str, int]) -> dict[str, int]:
+    env = dict(info.consts)
+    env.update(counts)
+    out: dict[str, int] = {}
+    for name, reg in info.registers.items():
+        if reg.decl.count is None:
+            out[name] = 1
+            continue
+        try:
+            out[name] = int(eval_static(reg.decl.count, env))
+        except SemanticError:
+            continue
+    return out
+
+
+def _fold(expr: ast.Expr, consts: dict[str, int]) -> int | None:
+    try:
+        return int(eval_static(expr, consts))
+    except SemanticError:
+        return None
+
+
+def _scan_instance(
+    inst: ActionInstance,
+    info: ProgramInfo,
+    meta_extents: dict[str, int],
+    reg_counts: dict[str, int],
+) -> list[IndexDiagnostic]:
+    diagnostics: list[IndexDiagnostic] = []
+
+    def visit(node: ast.Node) -> None:
+        if isinstance(node, ast.Index):
+            base = node.base
+            # meta.field[idx]
+            if isinstance(base, ast.Member) and base.name in meta_extents:
+                extent = meta_extents[base.name]
+                idx = _fold(node.index, info.consts)
+                if idx is None:
+                    diagnostics.append(IndexDiagnostic(
+                        inst.label, base.name, None, extent,
+                        f"{inst.label}: index into elastic array "
+                        f"'{base.name}' is not a compile-time constant",
+                    ))
+                elif not 0 <= idx < extent:
+                    diagnostics.append(IndexDiagnostic(
+                        inst.label, base.name, idx, extent,
+                        f"{inst.label}: index {idx} out of bounds for "
+                        f"elastic array '{base.name}' (extent {extent})",
+                    ))
+            # register[idx] — instance selection
+            if isinstance(base, ast.Name) and base.ident in reg_counts:
+                count = reg_counts[base.ident]
+                idx = _fold(node.index, info.consts)
+                if idx is None:
+                    diagnostics.append(IndexDiagnostic(
+                        inst.label, base.ident, None, count,
+                        f"{inst.label}: register instance selector for "
+                        f"'{base.ident}' is not a compile-time constant",
+                    ))
+                elif not 0 <= idx < count:
+                    diagnostics.append(IndexDiagnostic(
+                        inst.label, base.ident, idx, count,
+                        f"{inst.label}: register instance {idx} out of "
+                        f"bounds for '{base.ident}' ({count} instances)",
+                    ))
+        for child in node.children():
+            visit(child)
+
+    for stmt in inst.body:
+        visit(stmt)
+    if inst.guard is not None:
+        visit(inst.guard)
+    return diagnostics
+
+
+def collect_index_diagnostics(
+    ir: ProgramIR, counts: dict[str, int]
+) -> list[IndexDiagnostic]:
+    """All index violations of the program unrolled at ``counts``."""
+    info = ir.info
+    meta_extents = _elastic_extents(info, counts)
+    reg_counts = _register_counts(info, counts)
+    out: list[IndexDiagnostic] = []
+    for inst in instantiate(ir, counts):
+        out.extend(_scan_instance(inst, info, meta_extents, reg_counts))
+    return out
+
+
+def check_index_bounds(ir: ProgramIR, counts: dict[str, int]) -> None:
+    """Raise :class:`IndexBoundsError` on the first violation."""
+    diagnostics = collect_index_diagnostics(ir, counts)
+    if diagnostics:
+        raise IndexBoundsError(str(diagnostics[0]))

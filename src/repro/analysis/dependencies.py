@@ -1,0 +1,150 @@
+"""Building the dependency graph from action instances (paper §4.2).
+
+Rules, in order of dominance:
+
+1. **Same-stage grouping** — instances that access the same register
+   instance are merged into one node (a register lives in exactly one
+   stage, and its accessors must be there with it).
+2. **Precedence** — for instances ``a`` before ``b`` in program order, a
+   read-after-write, write-after-read, or (non-commutative)
+   write-after-write conflict on any PHV field makes ``a``'s node precede
+   ``b``'s.
+3. **Exclusion** — if the only conflicts between ``a`` and ``b`` are
+   same-kind commutative updates (both increment, both min-update, ...)
+   of shared fields, their nodes get an exclusion edge: separate stages,
+   either order.
+
+The paper's prototype (§5) only had precedence information available from
+the Tofino toolchain and treated every edge as precedence;
+``exclusion_as_precedence=True`` reproduces that degraded mode for the
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from .depgraph import DependencyGraph, DepNode
+from .ir import ActionInstance, UpdateKind
+
+__all__ = ["build_dependency_graph", "AnalysisError", "classify_pair"]
+
+
+class AnalysisError(Exception):
+    """Contradictory dependencies (e.g. ordering within one stage group)."""
+
+
+def _commutative_fields(a: ActionInstance, b: ActionInstance) -> set[str]:
+    """Shared written fields updated commutatively with the same kind."""
+    shared = set(a.writes) & set(b.writes)
+    out = set()
+    for field in shared:
+        ka = a.commutative.get(field, UpdateKind.PLAIN)
+        kb = b.commutative.get(field, UpdateKind.PLAIN)
+        if ka == kb and ka != UpdateKind.PLAIN:
+            out.add(field)
+    return out
+
+
+def classify_pair(a: ActionInstance, b: ActionInstance) -> str | None:
+    """Classify the dependency from ``a`` (earlier) to ``b`` (later).
+
+    Returns ``"precedence"``, ``"exclusion"``, or ``None`` (independent).
+    """
+    comm = _commutative_fields(a, b)
+
+    def conflict(fields_a, fields_b) -> bool:
+        return bool((set(fields_a) & set(fields_b)) - comm)
+
+    if conflict(a.writes, b.reads) or conflict(a.reads, b.writes) \
+            or conflict(a.writes, b.writes):
+        return "precedence"
+    if comm:
+        return "exclusion"
+    return None
+
+
+def build_dependency_graph(
+    instances: list[ActionInstance],
+    exclusion_as_precedence: bool = False,
+) -> DependencyGraph:
+    """Group instances into nodes and add precedence/exclusion edges.
+
+    ``instances`` must be in program order. With
+    ``exclusion_as_precedence`` set, commutative conflicts produce
+    precedence edges in program order instead (the prototype limitation
+    described in §5).
+    """
+    graph = DependencyGraph()
+
+    # -- same-stage grouping (union-find over shared register instances) -----
+    parent = {inst.uid: inst.uid for inst in instances}
+
+    def find(u: int) -> int:
+        while parent[u] != u:
+            parent[u] = parent[parent[u]]
+            u = parent[u]
+        return u
+
+    def union(u: int, v: int) -> None:
+        parent[find(u)] = find(v)
+
+    by_register: dict[tuple, list[ActionInstance]] = {}
+    for inst in instances:
+        for reg in inst.registers:
+            by_register.setdefault(reg, []).append(inst)
+    for members in by_register.values():
+        for other in members[1:]:
+            union(members[0].uid, other.uid)
+
+    groups: dict[int, list[ActionInstance]] = {}
+    for inst in instances:
+        groups.setdefault(find(inst.uid), []).append(inst)
+    # Preserve program order of groups (by earliest member).
+    ordered_groups = sorted(groups.values(), key=lambda g: g[0].source_order)
+    nodes: list[DepNode] = [graph.add_node(group) for group in ordered_groups]
+
+    # -- intra-node sanity: ordering inside one stage is impossible ------------
+    for node in nodes:
+        members = sorted(node.instances, key=lambda m: m.source_order)
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                if classify_pair(a, b) == "precedence":
+                    raise AnalysisError(
+                        f"actions {a.label} and {b.label} must share a stage "
+                        f"(common register) but also have an ordering dependency"
+                    )
+
+    # -- inter-node edges ---------------------------------------------------------
+    for i, node_a in enumerate(nodes):
+        for node_b in nodes[i + 1:]:
+            kind = _classify_nodes(node_a, node_b)
+            if kind is None:
+                continue
+            first, second = _order_nodes(node_a, node_b)
+            if kind == "precedence":
+                graph.add_precedence(first, second)
+            elif exclusion_as_precedence:
+                graph.add_precedence(first, second)
+            else:
+                graph.add_exclusion(node_a, node_b)
+    return graph
+
+
+def _order_nodes(a: DepNode, b: DepNode) -> tuple[DepNode, DepNode]:
+    """Program order of two nodes (by earliest member instance)."""
+    a_first = min(m.source_order for m in a.instances)
+    b_first = min(m.source_order for m in b.instances)
+    return (a, b) if a_first <= b_first else (b, a)
+
+
+def _classify_nodes(node_a: DepNode, node_b: DepNode) -> str | None:
+    """Strongest dependency between any member pair of two nodes."""
+    found_exclusion = False
+    for a in node_a.instances:
+        for b in node_b.instances:
+            early, late = (a, b) if a.source_order <= b.source_order else (b, a)
+            kind = classify_pair(early, late)
+            if kind == "precedence":
+                return "precedence"
+            if kind == "exclusion":
+                found_exclusion = True
+    return "exclusion" if found_exclusion else None

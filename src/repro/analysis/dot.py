@@ -1,0 +1,35 @@
+"""Graphviz (DOT) export of dependency graphs.
+
+Figure 9's pictures are dependency graphs; ``p4all graph`` renders the
+same for any program: precedence edges solid and directed, exclusion
+edges dashed and undirected, same-stage groups merged into single nodes.
+"""
+
+from __future__ import annotations
+
+from .depgraph import DependencyGraph
+
+__all__ = ["graph_to_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', r"\"") + '"'
+
+
+def graph_to_dot(graph: DependencyGraph, title: str = "dependencies") -> str:
+    """Render a dependency graph in DOT format."""
+    lines = [
+        f"digraph {_quote(title)} {{",
+        "    rankdir=LR;",
+        '    node [shape=box, fontname="monospace"];',
+    ]
+    for node in graph.nodes:
+        lines.append(f"    n{node.node_id} [label={_quote(node.label)}];")
+    for src, dst in graph.precedence_edges():
+        lines.append(f"    n{src.node_id} -> n{dst.node_id};")
+    for a, b in graph.exclusion_edges():
+        lines.append(
+            f"    n{a.node_id} -> n{b.node_id} [dir=none, style=dashed];"
+        )
+    lines.append("}")
+    return "\n".join(lines)

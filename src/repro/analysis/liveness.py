@@ -1,0 +1,144 @@
+"""PHV liveness analysis (§4.4 "PHV reuse" — the paper's future work).
+
+The layout ILP charges every elastic metadata field against the PHV for
+the whole pipeline. In hardware, a PHV container can be recycled once
+its field is dead (written later or never read again). This module
+computes, for a *compiled* layout, each metadata field's live interval
+across stages and the peak concurrent PHV demand — quantifying how many
+bits field recycling would save (reported by the
+``ablations/bench_phv_reuse`` benchmark).
+
+A field is **live** at stage boundaries between its first definition and
+its last use:
+
+* def sites: stages of units writing the field;
+* use sites: stages of units reading it (guards included);
+* packet-input fields (never written before first read) are live from
+  stage 0;
+* a field read after its last write in the same stage it was written
+  consumes no inter-stage PHV slot on its own.
+
+The analysis is conservative the same way hardware is: a field occupies
+its container from (first def stage) through (last use stage), inclusive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid analysis -> core -> analysis import cycle
+    from ..core.program import CompiledProgram
+
+__all__ = ["FieldLiveness", "LivenessReport", "analyze_phv_liveness"]
+
+
+@dataclass
+class FieldLiveness:
+    """Live interval of one PHV field across the pipeline."""
+
+    name: str
+    width: int
+    first_def: int | None
+    last_use: int | None
+
+    @property
+    def live_range(self) -> tuple[int, int] | None:
+        """(first, last) stage the field's container is occupied."""
+        if self.first_def is None and self.last_use is None:
+            return None  # declared but never touched
+        start = 0 if self.first_def is None else self.first_def
+        end = self.last_use if self.last_use is not None else self.first_def
+        return (min(start, end), max(start, end))
+
+    def live_at(self, stage: int) -> bool:
+        interval = self.live_range
+        return interval is not None and interval[0] <= stage <= interval[1]
+
+
+@dataclass
+class LivenessReport:
+    """Whole-program PHV liveness summary."""
+
+    fields: dict[str, FieldLiveness] = field(default_factory=dict)
+    stages: int = 0
+    allocated_bits: int = 0
+
+    def live_bits_at(self, stage: int) -> int:
+        return sum(f.width for f in self.fields.values() if f.live_at(stage))
+
+    @property
+    def peak_bits(self) -> int:
+        """Max concurrent live PHV bits over all stage boundaries."""
+        if self.stages == 0:
+            return 0
+        return max(self.live_bits_at(s) for s in range(self.stages))
+
+    @property
+    def reuse_savings_bits(self) -> int:
+        """PHV bits a recycling allocator would save vs whole-pipeline
+        allocation (what the ILP currently charges)."""
+        return max(self.allocated_bits - self.peak_bits, 0)
+
+    @property
+    def reuse_savings_fraction(self) -> float:
+        if self.allocated_bits == 0:
+            return 0.0
+        return self.reuse_savings_bits / self.allocated_bits
+
+    def format(self) -> str:
+        lines = [
+            f"PHV liveness: {self.allocated_bits} bits allocated, "
+            f"peak concurrent {self.peak_bits} bits "
+            f"(reuse would save {self.reuse_savings_bits} bits, "
+            f"{self.reuse_savings_fraction:.0%})",
+        ]
+        for name in sorted(self.fields):
+            fl = self.fields[name]
+            interval = fl.live_range
+            span = "never used" if interval is None else \
+                f"stages {interval[0]}..{interval[1]}"
+            lines.append(f"  {name:30s} {fl.width:4d} b  {span}")
+        return "\n".join(lines)
+
+
+def _collect_field_widths(compiled: "CompiledProgram") -> dict[str, int]:
+    from ..lang.symbols import eval_static
+
+    info = compiled.info
+    env = dict(info.consts)
+    env.update(compiled.symbol_values)
+    widths: dict[str, int] = {}
+    for fd in info.metadata.values():
+        base = f"meta.{fd.name}"
+        if fd.array_size is None:
+            widths[base] = fd.width
+        else:
+            for i in range(int(eval_static(fd.array_size, env))):
+                widths[f"{base}[{i}]"] = fd.width
+    return widths
+
+
+def analyze_phv_liveness(compiled: "CompiledProgram") -> LivenessReport:
+    """Compute live intervals for every metadata PHV field of a layout."""
+    widths = _collect_field_widths(compiled)
+    report = LivenessReport(
+        stages=compiled.target.stages,
+        allocated_bits=sum(widths.values()),
+    )
+    for name, width in widths.items():
+        report.fields[name] = FieldLiveness(
+            name=name, width=width, first_def=None, last_use=None
+        )
+
+    for unit in compiled.units:
+        inst = unit.instance
+        for key in inst.writes:
+            fl = report.fields.get(key)
+            if fl is not None and (fl.first_def is None or unit.stage < fl.first_def):
+                fl.first_def = unit.stage
+        for key in inst.reads:
+            fl = report.fields.get(key)
+            if fl is not None and (fl.last_use is None or unit.stage > fl.last_use):
+                fl.last_use = unit.stage
+    return report

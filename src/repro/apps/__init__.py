@@ -1,0 +1,65 @@
+"""Applications built from the elastic module library (Figure 11).
+
+Each application ships its elastic P4All source (composed from
+:mod:`repro.structures` modules), a harness class that compiles it and
+drives the PISA simulator with the application's control-plane logic,
+and — where workload-scale sweeps need it — a fast reference-structure
+simulation of the same control loop.
+
+=============  ==========================================================
+NetCache       count-min sketch + key-value store; hot keys cached on the
+               switch (§3's running example)
+SketchLearn    multi-level hierarchical sketch; flow extraction by
+               per-bit counter ratios
+PRECISION      multi-row counting hash table; heavy hitters with
+               probabilistic recirculation
+ConQuest       round-robin count-min snapshots; per-flow queue occupancy
+=============  ==========================================================
+"""
+
+from .conquest import ConQuestApp, conquest_module, conquest_source
+from .netcache import (
+    NETCACHE_UTILITY,
+    NETCACHE_UTILITY_FLIPPED,
+    NetCacheApp,
+    NetCacheStats,
+    netcache_source,
+    simulate_netcache,
+)
+from .precision import (
+    PrecisionApp,
+    PrecisionStats,
+    precision_source,
+    simulate_precision,
+)
+from .sketchlearn import SketchLearnApp, extract_large_flows, sketchlearn_source
+
+__all__ = [
+    "ConQuestApp",
+    "conquest_module",
+    "conquest_source",
+    "NETCACHE_UTILITY",
+    "NETCACHE_UTILITY_FLIPPED",
+    "NetCacheApp",
+    "NetCacheStats",
+    "netcache_source",
+    "simulate_netcache",
+    "PrecisionApp",
+    "PrecisionStats",
+    "precision_source",
+    "simulate_precision",
+    "SketchLearnApp",
+    "extract_large_flows",
+    "sketchlearn_source",
+    "APP_SOURCES",
+]
+
+
+def APP_SOURCES() -> dict[str, str]:
+    """name → elastic source for all four applications (default configs)."""
+    return {
+        "netcache": netcache_source(),
+        "sketchlearn": sketchlearn_source(),
+        "precision": precision_source(),
+        "conquest": conquest_source(),
+    }

@@ -1,0 +1,70 @@
+"""Plain-P4 baseline program generation.
+
+Figure 11 compares elastic P4All sources against the plain P4 programs a
+programmer would otherwise write. The original hand-written applications
+are not available, so the baselines shipped under ``p4_baselines/`` are
+the compiler's own concrete output at each application's Tofino
+configuration — exactly the unrolled, fixed-size program someone without
+elastic loops would have had to write and maintain by hand (every row
+duplicated, every size a magic constant). DESIGN.md §2 records this
+substitution.
+
+Regenerate with::
+
+    python -m repro.apps.baselines
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ..core import compile_source
+from ..pisa.resources import tofino
+from . import APP_SOURCES
+
+__all__ = ["write_app_sources", "write_baselines", "BASELINE_DIR", "SOURCE_DIR"]
+
+_PKG_DIR = Path(__file__).parent
+BASELINE_DIR = _PKG_DIR / "p4_baselines"
+SOURCE_DIR = _PKG_DIR / "p4all_src"
+
+
+def write_app_sources(directory: Path | None = None) -> list[Path]:
+    """Write the four elastic application sources as ``.p4all`` files."""
+    directory = directory or SOURCE_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, source in APP_SOURCES().items():
+        path = directory / f"{name}.p4all"
+        path.write_text(source)
+        written.append(path)
+    return written
+
+
+def write_baselines(directory: Path | None = None, target=None) -> list[Path]:
+    """Compile each application and write its concrete P4 baseline."""
+    directory = directory or BASELINE_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    target = target or tofino()
+    written = []
+    for name, source in APP_SOURCES().items():
+        compiled = compile_source(source, target, source_name=name)
+        path = directory / f"{name}.p4"
+        header = (
+            f"// Plain-P4 baseline for {name} (machine-unrolled equivalent of\n"
+            f"// the elastic source; see repro.apps.baselines).\n"
+        )
+        path.write_text(header + compiled.p4_source)
+        written.append(path)
+    return written
+
+
+def main() -> None:  # pragma: no cover - utility entry point
+    for path in write_app_sources():
+        print(f"wrote {path}")
+    for path in write_baselines():
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

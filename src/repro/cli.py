@@ -1,0 +1,181 @@
+"""Command-line interface: the ``p4all`` compiler driver.
+
+Subcommands::
+
+    p4all compile prog.p4all --target tofino [-o out.p4] [--report]
+    p4all bounds  prog.p4all --target tofino     # unroll bounds only
+    p4all targets                                # list target specs
+    p4all library [name]                         # dump library module source
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .analysis import build_ir, compute_upper_bounds
+from .core import CompileOptions, compile_file, layout_report, summary_line
+from .core.errors import CompileError
+from .lang import P4AllError, check_program, parse_program
+from .pisa.resources import TARGETS, get_target
+
+
+def _add_target_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--target", default="tofino",
+        help=f"target specification name ({', '.join(sorted(TARGETS))})",
+    )
+    parser.add_argument(
+        "--target-file", default=None,
+        help="JSON target specification (overrides --target)",
+    )
+    parser.add_argument(
+        "--stages", type=int, default=None,
+        help="override the target's stage count",
+    )
+    parser.add_argument(
+        "--memory", type=int, default=None,
+        help="override per-stage register memory (bits)",
+    )
+
+
+def _resolve_target(args):
+    import dataclasses
+
+    if getattr(args, "target_file", None):
+        from .pisa.targetspec import load_target
+
+        target = load_target(args.target_file)
+    else:
+        target = get_target(args.target)
+    overrides = {}
+    if args.stages is not None:
+        overrides["stages"] = args.stages
+    if args.memory is not None:
+        overrides["memory_bits_per_stage"] = args.memory
+    if overrides:
+        target = dataclasses.replace(target, **overrides)
+    return target
+
+
+def _cmd_compile(args) -> int:
+    target = _resolve_target(args)
+    options = CompileOptions(entry=args.entry, backend=args.backend)
+    compiled = compile_file(args.program, target, options=options)
+    if args.output:
+        Path(args.output).write_text(compiled.p4_source)
+        print(f"wrote {args.output}")
+    else:
+        print(compiled.p4_source)
+    print(summary_line(compiled), file=sys.stderr)
+    if args.report:
+        print(layout_report(compiled), file=sys.stderr)
+    return 0
+
+
+def _cmd_bounds(args) -> int:
+    target = _resolve_target(args)
+    source = Path(args.program).read_text()
+    info = check_program(parse_program(source, args.program))
+    ir = build_ir(info, args.entry)
+    bounds = compute_upper_bounds(ir, target)
+    for sym, result in bounds.results.items():
+        print(
+            f"{sym}: bound {result.bound} "
+            f"(criterion: {result.criterion}, path lengths {result.path_lengths})"
+        )
+    return 0
+
+
+def _cmd_graph(args) -> int:
+    from .analysis import build_dependency_graph, graph_to_dot, instantiate
+
+    target = _resolve_target(args)
+    source = Path(args.program).read_text()
+    info = check_program(parse_program(source, args.program))
+    ir = build_ir(info, args.entry)
+    counts = compute_upper_bounds(ir, target).as_counts()
+    if args.unroll is not None:
+        counts = {sym: args.unroll for sym in counts}
+    graph = build_dependency_graph(instantiate(ir, counts))
+    print(graph_to_dot(graph, title=Path(args.program).stem))
+    return 0
+
+
+def _cmd_targets(_args) -> int:
+    for name in sorted(TARGETS):
+        print(get_target(name).describe())
+    return 0
+
+
+def _cmd_library(args) -> int:
+    from .structures import LIBRARY_SOURCES
+
+    if not args.name:
+        for name in sorted(LIBRARY_SOURCES):
+            print(name)
+        return 0
+    try:
+        print(LIBRARY_SOURCES[args.name])
+    except KeyError:
+        print(f"unknown module {args.name!r}; options: "
+              f"{', '.join(sorted(LIBRARY_SOURCES))}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="p4all",
+        description="P4All elastic switch-program compiler (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile a .p4all program to P4")
+    p_compile.add_argument("program", help="path to the .p4all source")
+    p_compile.add_argument("-o", "--output", help="output .p4 path (default: stdout)")
+    p_compile.add_argument("--entry", default="Ingress", help="ingress control name")
+    p_compile.add_argument("--backend", default="auto",
+                           help="ILP backend: auto, scipy, bb")
+    p_compile.add_argument("--report", action="store_true",
+                           help="print the per-stage layout report")
+    _add_target_arg(p_compile)
+    p_compile.set_defaults(func=_cmd_compile)
+
+    p_bounds = sub.add_parser("bounds", help="show loop-unrolling upper bounds")
+    p_bounds.add_argument("program")
+    p_bounds.add_argument("--entry", default="Ingress")
+    _add_target_arg(p_bounds)
+    p_bounds.set_defaults(func=_cmd_bounds)
+
+    p_graph = sub.add_parser(
+        "graph", help="emit the dependency graph (DOT) at the unroll bound"
+    )
+    p_graph.add_argument("program")
+    p_graph.add_argument("--entry", default="Ingress")
+    p_graph.add_argument("--unroll", type=int, default=None,
+                         help="override the iteration count for all loops")
+    _add_target_arg(p_graph)
+    p_graph.set_defaults(func=_cmd_graph)
+
+    p_targets = sub.add_parser("targets", help="list known target specifications")
+    p_targets.set_defaults(func=_cmd_targets)
+
+    p_library = sub.add_parser("library", help="print a library module's source")
+    p_library.add_argument("name", nargs="?", default=None)
+    p_library.set_defaults(func=_cmd_library)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (P4AllError, CompileError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

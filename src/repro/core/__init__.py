@@ -1,0 +1,47 @@
+"""P4All compiler core — the paper's primary contribution.
+
+Public entry points:
+
+* :func:`compile_source` / :func:`compile_file` — full compilation
+  (parse → analyze → bound → ILP → codegen);
+* :class:`CompileOptions`, :class:`LayoutOptions` — compiler knobs;
+* :class:`CompiledProgram` — the result artifact (symbol assignment,
+  stage map, register allocation, concrete P4, timings);
+* :func:`layout_report` — Figure-7-style stage map rendering;
+* :func:`greedy_layout` — the greedy first-fit baseline for ablations.
+"""
+
+from .codegen import generate_p4
+from .driver import CompileOptions, compile_file, compile_source
+from .errors import CompileError, LayoutInfeasibleError, UtilityError
+from .greedy import GreedyResult, greedy_layout
+from .layout import LayoutBuilder, LayoutModel, LayoutOptions, LayoutSolution
+from .program import CompiledProgram, CompileStats, PlacedUnit, RegisterAlloc
+from .report import layout_report, summary_line
+from .tablemem import table_memory_bits
+from .validate import LayoutValidationError, validate_layout
+
+__all__ = [
+    "generate_p4",
+    "CompileOptions",
+    "compile_file",
+    "compile_source",
+    "CompileError",
+    "LayoutInfeasibleError",
+    "UtilityError",
+    "GreedyResult",
+    "greedy_layout",
+    "LayoutBuilder",
+    "LayoutModel",
+    "LayoutOptions",
+    "LayoutSolution",
+    "CompiledProgram",
+    "CompileStats",
+    "PlacedUnit",
+    "RegisterAlloc",
+    "layout_report",
+    "summary_line",
+    "table_memory_bits",
+    "LayoutValidationError",
+    "validate_layout",
+]

@@ -1,0 +1,154 @@
+"""End-to-end P4All compilation driver.
+
+``compile_source`` runs the full pipeline of Figure 8:
+
+1. parse + semantic checks (:mod:`repro.lang`),
+2. elaboration and dependency analysis (:mod:`repro.analysis`),
+3. loop-unrolling upper bounds (§4.2),
+4. layout ILP construction and solving (§4.3),
+5. concrete-P4 code generation and stage-mapping extraction.
+
+Phase timings are recorded in :class:`CompileStats` — §6.1 reports that
+compile time is dominated by ILP solving, which the Figure-11 benchmark
+verifies.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+from ..analysis import build_ir, compute_upper_bounds
+from ..analysis.unroll import UnrollOptions
+from ..lang import check_program, parse_program
+from ..pisa.resources import TargetSpec
+from .codegen import generate_p4
+from .errors import CompileError
+from .layout import LayoutBuilder, LayoutOptions
+from .program import CompiledProgram, CompileStats, PlacedUnit, RegisterAlloc
+
+__all__ = ["compile_source", "compile_file", "CompileOptions"]
+
+
+class CompileOptions:
+    """All compiler knobs in one place."""
+
+    def __init__(
+        self,
+        entry: str = "Ingress",
+        backend: str = "auto",
+        time_limit: float | None = None,
+        layout: LayoutOptions | None = None,
+        unroll: UnrollOptions | None = None,
+        verify: bool = True,
+    ):
+        self.entry = entry
+        self.backend = backend
+        self.time_limit = time_limit
+        self.layout = layout or LayoutOptions()
+        self.unroll = unroll or UnrollOptions(
+            exclusion_as_precedence=(layout or LayoutOptions()).exclusion_as_precedence
+        )
+        #: re-check the produced layout against every resource/dependency
+        #: rule (cheap; catches formulation bugs at the source).
+        self.verify = verify
+
+
+def compile_source(
+    source: str,
+    target: TargetSpec,
+    options: CompileOptions | None = None,
+    source_name: str = "<string>",
+) -> CompiledProgram:
+    """Compile a P4All program for ``target``; returns the full artifact."""
+    options = options or CompileOptions()
+    stats = CompileStats()
+
+    t0 = time.perf_counter()
+    program = parse_program(source, source_name)
+    info = check_program(program)
+    stats.parse_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ir = build_ir(info, options.entry)
+    bounds = compute_upper_bounds(ir, target, options.unroll)
+    stats.analysis_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    builder = LayoutBuilder(ir, bounds, target, options.layout)
+    lm = builder.build()
+    stats.ilp_build_seconds = time.perf_counter() - t0
+    stats.ilp_variables = lm.model.num_variables
+    stats.ilp_constraints = lm.model.num_constraints
+
+    optimize = program.optimize()
+    utility = optimize.utility if optimize is not None else None
+    solution = builder.solve(
+        utility=utility, backend=options.backend, time_limit=options.time_limit
+    )
+    stats.ilp_solve_seconds = solution.solve_seconds
+    # Constraints may have been added during utility linearization.
+    stats.ilp_variables = lm.model.num_variables
+    stats.ilp_constraints = lm.model.num_constraints
+
+    t0 = time.perf_counter()
+    compiled = CompiledProgram(
+        source_name=source_name,
+        target=target,
+        info=info,
+        ir=ir,
+        bounds=bounds,
+        solution=solution,
+        stats=stats,
+    )
+    # Placed units: active instances with a stage, in (stage, order) order.
+    for inst in lm.instances:
+        stage = solution.instance_stage.get(inst.uid)
+        if stage is None:
+            continue
+        if inst.symbolic is not None and not solution.iteration_active.get(
+            (inst.symbolic, inst.iteration), False
+        ):
+            continue
+        compiled.units.append(PlacedUnit(instance=inst, stage=stage))
+    compiled.units.sort(key=lambda u: (u.stage, u.instance.source_order))
+
+    for (family, index), (stage, cells) in sorted(solution.register_alloc.items()):
+        width = info.registers[family].cell_bits
+        compiled.registers.append(
+            RegisterAlloc(family=family, index=index, stage=stage,
+                          cells=cells, width=width)
+        )
+
+    compiled.p4_source = generate_p4(compiled)
+    stats.codegen_seconds = time.perf_counter() - t0
+
+    if options.verify:
+        from ..analysis.bounds_check import check_index_bounds
+        from .validate import validate_layout
+
+        # §7 verification: every elastic-array index provably in bounds
+        # at the chosen symbolic values.
+        check_index_bounds(
+            ir,
+            {sym: compiled.symbol_values.get(sym, 1) for sym in bounds.as_counts()},
+        )
+
+        validate_layout(
+            compiled,
+            hash_unit_limits=options.layout.hash_unit_limits,
+            table_memory=options.layout.table_memory,
+        )
+    return compiled
+
+
+def compile_file(
+    path: str | Path,
+    target: TargetSpec,
+    options: CompileOptions | None = None,
+) -> CompiledProgram:
+    """Compile a ``.p4all`` file."""
+    path = Path(path)
+    return compile_source(
+        path.read_text(), target, options=options, source_name=str(path)
+    )

@@ -1,0 +1,17 @@
+"""Compiler-core error types."""
+
+from __future__ import annotations
+
+__all__ = ["CompileError", "LayoutInfeasibleError", "UtilityError"]
+
+
+class CompileError(Exception):
+    """A P4All program cannot be compiled for the given target."""
+
+
+class LayoutInfeasibleError(CompileError):
+    """The layout ILP is infeasible: the program cannot fit at any size."""
+
+
+class UtilityError(CompileError):
+    """The utility function (or an assume) cannot be linearized."""

@@ -1,0 +1,756 @@
+"""The layout ILP (paper §4.3, Figure 10).
+
+Given the unrolled program (action instances at their upper bounds), the
+dependency graph, and a target, :class:`LayoutBuilder` constructs an ILP
+whose solution is simultaneously:
+
+* a concrete assignment for every symbolic value,
+* a stage placement for every placed action node, and
+* a per-stage memory allocation for every placed register instance.
+
+Variable families (Figure 10):
+
+====================  =====================================================
+``x[n, s]``           binary — dependency-graph node ``n`` placed in stage
+                      ``s`` (same-stage groups place as a unit, which *is*
+                      constraint #4)
+``it[v, i]``          binary — iteration ``i`` of symbolic ``v`` is active
+                      (the metadata variables ``d_i``, #13/#14, coincide
+                      with these)
+``size[y]``           integer — cells per register array for size-symbolic
+                      ``y`` (shared by every register family sized by it)
+``m[r, i, s]``        integer — cells of register instance ``(r, i)``
+                      allocated in stage ``s``
+====================  =====================================================
+
+Constraint families map to the paper's numbering as follows: #4 node
+grouping (structural), #5 exclusion, #6 precedence, #7/#15/#16
+iteration-activation coupling and ordering, #8 per-stage memory, #9
+register/action co-location, #10 equal sizes, #11/#12 ALU limits,
+#13/#14 PHV budget, #17 inelastic placement, plus user assumes and — as
+extensions flagged in §4.4 — per-stage hash-unit limits.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..analysis.depgraph import DependencyGraph, DepNode
+from ..analysis.dependencies import build_dependency_graph
+from ..analysis.ir import ActionInstance, ProgramIR, instantiate
+from ..analysis.unroll import UnrollBounds
+from ..lang import ast
+from ..lang.errors import SemanticError
+from ..lang.symbols import eval_static
+from ..ilp import LinExpr, Model, Solution, SolveStatus, VarType, solve
+from ..pisa.resources import TargetSpec
+from .errors import CompileError, LayoutInfeasibleError, UtilityError
+
+__all__ = ["LayoutBuilder", "LayoutModel", "LayoutSolution", "RegisterFamily",
+           "LayoutOptions"]
+
+
+@dataclass(frozen=True)
+class LayoutOptions:
+    """Tunables for the ILP construction."""
+
+    stage_bias: float = 1e-5          # tiny pull toward early stages (determinism)
+    symmetry_breaking: bool = True    # monotone stages for first elastic template
+    hash_unit_limits: bool = True     # §4.4 extension
+    table_memory: bool = True         # §4.4 extension: table SRAM in stage M
+    exclusion_as_precedence: bool = False  # prototype-mode ablation
+
+
+@dataclass
+class RegisterFamily:
+    """A register declaration expanded to its candidate instances."""
+
+    name: str
+    cell_bits: int
+    count_symbolic: str | None        # symbolic governing #arrays (or None)
+    num_instances: int                # count value or unroll bound
+    size_expr: ast.Expr               # cells per array (static expr)
+    fixed_cells: int | None           # set when size_expr is fully constant
+    size_symbolics: frozenset[str] = frozenset()
+
+    @property
+    def max_cells_cap(self) -> int:
+        return self.fixed_cells if self.fixed_cells is not None else 0
+
+
+class LayoutModel:
+    """The constructed ILP plus handles for solution extraction."""
+
+    def __init__(self, ir: ProgramIR, target: TargetSpec, options: LayoutOptions):
+        self.ir = ir
+        self.target = target
+        self.options = options
+        self.model = Model("p4all-layout")
+        self.instances: list[ActionInstance] = []
+        self.graph: DependencyGraph | None = None
+        self.families: dict[str, RegisterFamily] = {}
+        # Variable handles
+        self.x: dict[tuple[int, int], object] = {}        # (node_id, stage) -> Var
+        self.it: dict[tuple[str, int], object] = {}       # (symbolic, iter) -> Var
+        self.size_vars: dict[str, object] = {}            # size-symbolic -> Var
+        self.m: dict[tuple[str, int, int], object] = {}   # (family, idx, stage) -> Var
+        self.free_sym_vars: dict[str, object] = {}        # unused symbolics
+        self.loop_symbolics: list[str] = []
+        self.counts: dict[str, int] = {}
+
+    # -- symbolic-value expressions ----------------------------------------------
+    def symbolic_expr(self, name: str) -> LinExpr:
+        """ILP expression whose value equals symbolic ``name``."""
+        if name in self.loop_symbolics:
+            return LinExpr.total(
+                self.it[(name, i)] for i in range(self.counts.get(name, 0))
+            )
+        if name in self.size_vars:
+            return LinExpr.from_term(self.size_vars[name])
+        if name in self.free_sym_vars:
+            return LinExpr.from_term(self.free_sym_vars[name])
+        raise UtilityError(f"symbolic value {name!r} has no ILP representation")
+
+    def total_cells_expr(self, family: RegisterFamily) -> LinExpr:
+        """Sum of allocated cells across all instances/stages of a family."""
+        return LinExpr.total(
+            self.m[(family.name, i, s)]
+            for i in range(family.num_instances)
+            for s in range(self.target.stages)
+        )
+
+    def family_for_product(self, sym_a: str, sym_b: str) -> RegisterFamily | None:
+        """Find a register family whose (count, size) symbolics are the pair."""
+        for fam in self.families.values():
+            pair = {fam.count_symbolic} | set(fam.size_symbolics)
+            if fam.count_symbolic is not None and {sym_a, sym_b} <= pair \
+                    and len(fam.size_symbolics) == 1:
+                return fam
+        return None
+
+
+@dataclass
+class LayoutSolution:
+    """Decoded ILP solution."""
+
+    status: SolveStatus
+    objective: float
+    symbol_values: dict[str, int]
+    node_stage: dict[int, int | None]
+    instance_stage: dict[int, int | None]      # instance uid -> stage
+    register_alloc: dict[tuple[str, int], tuple[int, int]]  # (fam, idx) -> (stage, cells)
+    iteration_active: dict[tuple[str, int], bool]
+    solve_seconds: float
+    backend: str
+    num_variables: int
+    num_constraints: int
+
+    @property
+    def ok(self) -> bool:
+        return self.status is SolveStatus.OPTIMAL
+
+    def stages_used(self) -> set[int]:
+        return {s for s in self.node_stage.values() if s is not None}
+
+    def memory_bits_by_stage(self, layout: "LayoutModel") -> dict[int, int]:
+        out: dict[int, int] = {}
+        for (fam, _idx), (stage, cells) in self.register_alloc.items():
+            bits = cells * layout.families[fam].cell_bits
+            out[stage] = out.get(stage, 0) + bits
+        return out
+
+
+class LayoutBuilder:
+    """Constructs and solves the layout ILP."""
+
+    def __init__(
+        self,
+        ir: ProgramIR,
+        bounds: UnrollBounds,
+        target: TargetSpec,
+        options: LayoutOptions | None = None,
+    ):
+        self.ir = ir
+        self.info = ir.info
+        self.bounds = bounds
+        self.target = target
+        self.options = options or LayoutOptions()
+        self.layout = LayoutModel(ir, target, self.options)
+
+    # ------------------------------------------------------------------ build --
+    def build(self) -> LayoutModel:
+        lm = self.layout
+        lm.counts = dict(self.bounds.as_counts())
+        lm.loop_symbolics = list(lm.counts)
+        lm.instances = instantiate(self.ir, lm.counts)
+        lm.graph = build_dependency_graph(
+            lm.instances,
+            exclusion_as_precedence=self.options.exclusion_as_precedence,
+        )
+        self._make_register_families()
+        self._make_variables()
+        self._activation_constraints()          # #7, #15, #16, #17
+        self._dependency_constraints()          # #5, #6 (+#4 structurally)
+        self._alu_constraints()                 # #11, #12 (+ hash units)
+        self._memory_constraints()              # #8, #9, #10
+        self._phv_constraints()                 # #13, #14
+        self._assume_constraints()
+        if self.options.symmetry_breaking:
+            self._symmetry_breaking()
+        return lm
+
+    # -- register families -------------------------------------------------------
+    def _make_register_families(self) -> None:
+        lm = self.layout
+        used: set[str] = set()
+        for inst in lm.instances:
+            for fam_name, _idx in inst.registers:
+                used.add(fam_name)
+        for name, reg in self.info.registers.items():
+            if name not in used:
+                continue
+            decl = reg.decl
+            count_sym: str | None = None
+            if decl.count is None:
+                num = 1
+            elif isinstance(decl.count, ast.Name) and \
+                    decl.count.ident in self.info.symbolics:
+                count_sym = decl.count.ident
+                if count_sym not in lm.counts:
+                    raise CompileError(
+                        f"register {name!r}: count symbolic {count_sym!r} does not "
+                        "bound any loop, so its value cannot be inferred"
+                    )
+                num = lm.counts[count_sym]
+            else:
+                static = _try_static(decl.count, self.info.consts)
+                if static is None:
+                    raise CompileError(
+                        f"register {name!r}: count must be a constant expression "
+                        "or a bare symbolic"
+                    )
+                num = int(static)
+            size_syms = frozenset(
+                n.ident
+                for n in ast.walk(decl.size)
+                if isinstance(n, ast.Name) and n.ident in self.info.symbolics
+            )
+            fixed_cells: int | None = None
+            if not size_syms:
+                fixed_cells = int(eval_static(decl.size, self.info.consts))
+                if fixed_cells <= 0:
+                    raise CompileError(f"register {name!r}: size must be positive")
+            lm.families[name] = RegisterFamily(
+                name=name,
+                cell_bits=reg.cell_bits,
+                count_symbolic=count_sym,
+                num_instances=num,
+                size_expr=decl.size,
+                fixed_cells=fixed_cells,
+                size_symbolics=size_syms,
+            )
+
+    # -- variables ---------------------------------------------------------------
+    def _make_variables(self) -> None:
+        lm = self.layout
+        model = lm.model
+        stages = self.target.stages
+        for node in lm.graph.nodes:
+            for s in range(stages):
+                lm.x[(node.node_id, s)] = model.add_var(
+                    f"x[{node.label}@{s}]", vartype=VarType.BINARY
+                )
+        for sym, count in lm.counts.items():
+            for i in range(count):
+                lm.it[(sym, i)] = model.add_var(
+                    f"it[{sym},{i}]", vartype=VarType.BINARY
+                )
+        # One size variable per size-symbolic, bounded by the tightest family.
+        sym_caps: dict[str, int] = {}
+        for fam in lm.families.values():
+            cap = self.target.memory_bits_per_stage // fam.cell_bits
+            if cap <= 0:
+                raise CompileError(
+                    f"register {fam.name!r}: one {fam.cell_bits}-bit cell does not "
+                    f"fit in a stage ({self.target.memory_bits_per_stage} bits)"
+                )
+            for sym in fam.size_symbolics:
+                sym_caps[sym] = min(sym_caps.get(sym, cap), cap)
+        for sym, cap in sym_caps.items():
+            lm.size_vars[sym] = model.add_var(
+                f"size[{sym}]", lb=1, ub=cap, vartype=VarType.INTEGER
+            )
+        # Memory variables, in cells.
+        for fam in lm.families.values():
+            cap = self.target.memory_bits_per_stage // fam.cell_bits
+            if fam.fixed_cells is not None:
+                cap = min(cap, fam.fixed_cells)
+            for i in range(fam.num_instances):
+                for s in range(self.target.stages):
+                    lm.m[(fam.name, i, s)] = model.add_var(
+                        f"m[{fam.name}[{i}]@{s}]", lb=0, ub=cap,
+                        vartype=VarType.INTEGER,
+                    )
+        # Symbolics that are neither loop bounds nor register sizes get a
+        # free integer variable (constrained only by assumes).
+        for sym in self.info.symbolics:
+            if sym not in lm.counts and sym not in lm.size_vars:
+                lm.free_sym_vars[sym] = model.add_var(
+                    f"sym[{sym}]", lb=0, ub=2 ** 20, vartype=VarType.INTEGER
+                )
+
+    # -- helpers ----------------------------------------------------------------
+    def _placed(self, node: DepNode) -> LinExpr:
+        return LinExpr.total(
+            self.layout.x[(node.node_id, s)] for s in range(self.target.stages)
+        )
+
+    def _stage_of(self, node: DepNode) -> LinExpr:
+        return LinExpr.total(
+            s * LinExpr.from_term(self.layout.x[(node.node_id, s)])
+            for s in range(self.target.stages)
+        )
+
+    def _activation_expr(self, inst: ActionInstance) -> LinExpr | int:
+        if inst.symbolic is None:
+            return 1
+        return LinExpr.from_term(self.layout.it[(inst.symbolic, inst.iteration)])
+
+    # -- #7 / #15 / #16 / #17 ------------------------------------------------------
+    def _activation_constraints(self) -> None:
+        lm = self.layout
+        model = lm.model
+        for node in lm.graph.nodes:
+            placed = self._placed(node)
+            # #15: placed at most once (binary sum over stages).
+            model.add_constr(placed <= 1, name=f"place_once[{node.label}]")
+            activations = {
+                (inst.symbolic, inst.iteration)
+                for inst in node.instances
+                if inst.symbolic is not None
+            }
+            has_inelastic = any(inst.symbolic is None for inst in node.instances)
+            if has_inelastic:
+                # #17: inelastic units must be placed.
+                model.add_constr(placed == 1, name=f"inelastic[{node.label}]")
+                for key in activations:
+                    model.add_constr(
+                        LinExpr.from_term(lm.it[key]) == 1,
+                        name=f"forced_it[{key[0]},{key[1]}]",
+                    )
+            else:
+                # #7: a node is placed iff its iteration(s) are active.
+                for key in activations:
+                    model.add_constr(
+                        placed == LinExpr.from_term(lm.it[key]),
+                        name=f"cond[{node.label}:{key[0]},{key[1]}]",
+                    )
+        # #16: iterations activate in order.
+        for sym, count in lm.counts.items():
+            for i in range(count - 1):
+                model.add_constr(
+                    LinExpr.from_term(lm.it[(sym, i + 1)])
+                    <= LinExpr.from_term(lm.it[(sym, i)]),
+                    name=f"order[{sym},{i}]",
+                )
+
+    # -- #5 / #6 -------------------------------------------------------------------
+    def _dependency_constraints(self) -> None:
+        lm = self.layout
+        model = lm.model
+        stages = self.target.stages
+        for src, dst in lm.graph.precedence_edges():
+            # #6: if both placed, src strictly precedes dst.
+            gap = self._stage_of(dst) - self._stage_of(src)
+            slack = stages * (2 - self._placed(src) - self._placed(dst))
+            model.add_constr(
+                gap + slack >= 1, name=f"prec[{src.label}->{dst.label}]"
+            )
+        for a, b in lm.graph.exclusion_edges():
+            # #5: never share a stage.
+            for s in range(stages):
+                model.add_constr(
+                    LinExpr.from_term(lm.x[(a.node_id, s)])
+                    + LinExpr.from_term(lm.x[(b.node_id, s)])
+                    <= 1,
+                    name=f"excl[{a.label}|{b.label}@{s}]",
+                )
+
+    # -- #11 / #12 (+ hash units) ----------------------------------------------------
+    def _alu_constraints(self) -> None:
+        lm = self.layout
+        model = lm.model
+        for s in range(self.target.stages):
+            stateful = LinExpr()
+            stateless = LinExpr()
+            hashes = LinExpr()
+            for node in lm.graph.nodes:
+                x = lm.x[(node.node_id, s)]
+                hf = sum(self.target.hf(inst.cost) for inst in node.instances)
+                hl = sum(self.target.hl(inst.cost) for inst in node.instances)
+                hh = sum(inst.cost.hash_ops for inst in node.instances)
+                if hf:
+                    stateful += hf * LinExpr.from_term(x)
+                if hl:
+                    stateless += hl * LinExpr.from_term(x)
+                if hh:
+                    hashes += hh * LinExpr.from_term(x)
+            model.add_constr(
+                stateful <= self.target.stateful_alus_per_stage,
+                name=f"alus_f[{s}]",
+            )
+            model.add_constr(
+                stateless <= self.target.stateless_alus_per_stage,
+                name=f"alus_l[{s}]",
+            )
+            if self.options.hash_unit_limits:
+                model.add_constr(
+                    hashes <= self.target.hash_units_per_stage,
+                    name=f"hash_units[{s}]",
+                )
+
+    # -- #8 / #9 / #10 ----------------------------------------------------------------
+    def _anchor_node(self, fam: RegisterFamily, idx: int) -> DepNode | None:
+        lm = self.layout
+        for inst in lm.instances:
+            if (fam.name, idx) in inst.registers:
+                return lm.graph.node_of(inst)
+        return None
+
+    def _cells_expr(self, fam: RegisterFamily) -> LinExpr:
+        """Per-array cell count as a linear expression of size variables."""
+        if fam.fixed_cells is not None:
+            return LinExpr(constant=fam.fixed_cells)
+        env = {
+            sym: LinExpr.from_term(var) for sym, var in self.layout.size_vars.items()
+        }
+        return _affine_expr(fam.size_expr, env, self.info.consts)
+
+    def _memory_constraints(self) -> None:
+        lm = self.layout
+        model = lm.model
+        stages = self.target.stages
+        # Table SRAM per node (§4.4 extension, flag-controlled).
+        table_bits_of_node: dict[int, int] = {}
+        if self.options.table_memory:
+            from .tablemem import table_memory_bits
+
+            for node in lm.graph.nodes:
+                bits = sum(
+                    table_memory_bits(self.info.tables[inst.table], self.info)
+                    for inst in node.instances
+                    if inst.table is not None
+                )
+                if bits:
+                    table_bits_of_node[node.node_id] = bits
+
+        # #8: per-stage memory in bits.
+        for s in range(stages):
+            usage = LinExpr()
+            for fam in lm.families.values():
+                for i in range(fam.num_instances):
+                    usage += fam.cell_bits * LinExpr.from_term(lm.m[(fam.name, i, s)])
+            for node_id, bits in table_bits_of_node.items():
+                usage += bits * LinExpr.from_term(lm.x[(node_id, s)])
+            model.add_constr(
+                usage <= self.target.memory_bits_per_stage, name=f"mem[{s}]"
+            )
+        for fam in lm.families.values():
+            cap = self.target.memory_bits_per_stage // fam.cell_bits
+            cells = self._cells_expr(fam)
+            for i in range(fam.num_instances):
+                anchor = self._anchor_node(fam, i)
+                if anchor is None:
+                    # Declared but unused instance: no memory.
+                    for s in range(stages):
+                        model.add_constr(
+                            LinExpr.from_term(lm.m[(fam.name, i, s)]) <= 0,
+                            name=f"unused[{fam.name}[{i}]@{s}]",
+                        )
+                    continue
+                # #9: memory only where the accessing node is placed.
+                for s in range(stages):
+                    model.add_constr(
+                        LinExpr.from_term(lm.m[(fam.name, i, s)])
+                        <= cap * LinExpr.from_term(lm.x[(anchor.node_id, s)]),
+                        name=f"coloc[{fam.name}[{i}]@{s}]",
+                    )
+                total = LinExpr.total(
+                    lm.m[(fam.name, i, s)] for s in range(stages)
+                )
+                placed = self._placed(anchor)
+                # #10: placed instances all hold exactly ``cells`` cells.
+                model.add_constr(
+                    total - cells + cap * (1 - placed) >= 0,
+                    name=f"size_lo[{fam.name}[{i}]]",
+                )
+                model.add_constr(
+                    total - cells - cap * (1 - placed) <= 0,
+                    name=f"size_hi[{fam.name}[{i}]]",
+                )
+
+    # -- #13 / #14 ---------------------------------------------------------------------
+    def _phv_constraints(self) -> None:
+        lm = self.layout
+        model = lm.model
+        budget = self.target.phv_bits - self.info.metadata_fixed_bits()
+        if budget < 0:
+            raise CompileError(
+                "fixed metadata alone exceeds the target's PHV capacity "
+                f"({self.info.metadata_fixed_bits()} > {self.target.phv_bits} bits)"
+            )
+        usage = LinExpr()
+        for fd in self.info.metadata.values():
+            if fd.array_size is None:
+                continue
+            syms = {
+                n.ident
+                for n in ast.walk(fd.array_size)
+                if isinstance(n, ast.Name) and n.ident in self.info.symbolics
+            }
+            if not syms:
+                usage += fd.width * int(eval_static(fd.array_size, self.info.consts))
+                continue
+            if len(syms) > 1:
+                raise CompileError(
+                    f"metadata array {fd.name!r}: extent may reference at most "
+                    "one symbolic value"
+                )
+            sym = syms.pop()
+            if sym not in lm.counts:
+                raise CompileError(
+                    f"metadata array {fd.name!r} is sized by {sym!r}, which does "
+                    "not bound any loop"
+                )
+            # width · (number of active iterations); element i exists iff
+            # iteration i is active (#14 with d_i ≡ it_i).
+            for i in range(lm.counts[sym]):
+                usage += fd.width * LinExpr.from_term(lm.it[(sym, i)])
+        model.add_constr(usage <= budget, name="phv")
+
+    # -- assumes ----------------------------------------------------------------------
+    def _assume_constraints(self) -> None:
+        from .utility import linearize_condition  # cycle-free: late import
+
+        for idx, assume in enumerate(self.info.program.assumes()):
+            constraints = linearize_condition(assume.condition, self.layout, self.info)
+            for j, constr in enumerate(constraints):
+                self.layout.model.add_constr(constr, name=f"assume{idx}.{j}")
+
+    # -- symmetry breaking ---------------------------------------------------------
+    def _symmetry_breaking(self) -> None:
+        self._symmetry_breaking_elastic()
+        self._symmetry_breaking_inelastic()
+
+    def _symmetry_breaking_inelastic(self) -> None:
+        """Chain stage order over interchangeable inelastic nodes.
+
+        Two always-placed nodes are interchangeable when they have the same
+        ALU costs, anchor single instances of the same register family, and
+        have identical precedence/exclusion neighborhoods (outside the
+        group). Statically-unrolled structures (e.g. SketchLearn's nine
+        levels) otherwise make the MILP explore S!-ish permutations.
+        """
+        lm = self.layout
+        model = lm.model
+        groups: dict[tuple, list] = {}
+        for node in lm.graph.nodes:
+            if any(inst.symbolic is not None for inst in node.instances):
+                continue
+            nid = node.node_id
+            fams = tuple(sorted(
+                fam for inst in node.instances for fam, _ in inst.registers
+            ))
+            costs = tuple(sorted(
+                (self.target.hf(i.cost), self.target.hl(i.cost), i.cost.hash_ops)
+                for i in node.instances
+            ))
+            key = (
+                fams,
+                costs,
+                frozenset(lm.graph.precedence_in[nid]),
+                frozenset(lm.graph.precedence_out[nid]),
+            )
+            groups.setdefault(key, []).append(node)
+        for (fams, costs, pin, pout), nodes in groups.items():
+            if len(nodes) < 2:
+                continue
+            ids = {n.node_id for n in nodes}
+            # Exclusion neighborhoods must match outside the group.
+            shapes = {
+                frozenset(lm.graph.exclusion[n.node_id] - ids) for n in nodes
+            }
+            if len(shapes) != 1:
+                continue
+            # Intra-group exclusion must be uniform (all-pairs or none).
+            intra_sizes = {
+                len(lm.graph.exclusion[n.node_id] & ids) for n in nodes
+            }
+            if intra_sizes not in ({0}, {len(nodes) - 1}):
+                continue
+            nodes.sort(key=lambda n: n.node_id)
+            for a, b in zip(nodes, nodes[1:]):
+                model.add_constr(
+                    self._stage_of(b) - self._stage_of(a) >= 0,
+                    name=f"symbreak_ne[{a.label}<={b.label}]",
+                )
+
+    def _symmetry_breaking_elastic(self) -> None:
+        lm = self.layout
+        model = lm.model
+        stages = self.target.stages
+        for sym, count in lm.counts.items():
+            # First template of this symbolic: earliest instance per iteration.
+            per_iter: dict[int, ActionInstance] = {}
+            for inst in lm.instances:
+                if inst.symbolic == sym and inst.iteration not in per_iter:
+                    per_iter[inst.iteration] = inst
+            nodes = []
+            seen_nodes = set()
+            for i in range(count):
+                inst = per_iter.get(i)
+                if inst is None:
+                    return
+                node = lm.graph.node_of(inst)
+                if node.node_id in seen_nodes:
+                    return  # shared nodes across iterations: skip breaking
+                seen_nodes.add(node.node_id)
+                nodes.append(node)
+            for i in range(len(nodes) - 1):
+                a, b = nodes[i], nodes[i + 1]
+                model.add_constr(
+                    self._stage_of(b) - self._stage_of(a)
+                    + stages * (1 - self._placed(b))
+                    >= 0,
+                    name=f"symbreak[{sym},{i}]",
+                )
+
+    # ------------------------------------------------------------------- solve --
+    def solve(
+        self,
+        utility: ast.Expr | None = None,
+        backend: str = "auto",
+        time_limit: float | None = None,
+    ) -> LayoutSolution:
+        """Build (if needed), attach the objective, solve, and decode."""
+        from .utility import linearize_utility
+
+        lm = self.layout
+        if lm.graph is None:
+            self.build()
+        objective = LinExpr()
+        if utility is not None:
+            objective += linearize_utility(utility, lm, self.info)
+        if self.options.stage_bias:
+            for (node_id, s), var in lm.x.items():
+                objective += (-self.options.stage_bias * s) * LinExpr.from_term(var)
+        lm.model.maximize(objective)
+        solution = solve(lm.model, backend=backend, time_limit=time_limit)
+        if solution.status is SolveStatus.INFEASIBLE:
+            raise LayoutInfeasibleError(
+                "the layout ILP is infeasible: the program cannot fit on "
+                f"target {self.target.name!r} at any size"
+            )
+        return self._decode(solution)
+
+    def _decode(self, solution: Solution) -> LayoutSolution:
+        lm = self.layout
+        node_stage: dict[int, int | None] = {}
+        for node in lm.graph.nodes:
+            stage = None
+            for s in range(self.target.stages):
+                if solution.int_value(lm.x[(node.node_id, s)]):
+                    stage = s
+                    break
+            node_stage[node.node_id] = stage
+        instance_stage = {
+            inst.uid: node_stage[lm.graph.node_of(inst).node_id]
+            for inst in lm.instances
+        }
+        iteration_active = {
+            key: bool(solution.int_value(var)) for key, var in lm.it.items()
+        }
+        register_alloc: dict[tuple[str, int], tuple[int, int]] = {}
+        for (fam, i, s), var in lm.m.items():
+            cells = solution.int_value(var)
+            if cells > 0:
+                register_alloc[(fam, i)] = (s, cells)
+        symbol_values: dict[str, int] = {}
+        for sym in self.info.symbolics:
+            if sym in lm.counts:
+                symbol_values[sym] = sum(
+                    1
+                    for i in range(lm.counts[sym])
+                    if iteration_active.get((sym, i), False)
+                )
+            elif sym in lm.size_vars:
+                symbol_values[sym] = solution.int_value(lm.size_vars[sym])
+            elif sym in lm.free_sym_vars:
+                symbol_values[sym] = solution.int_value(lm.free_sym_vars[sym])
+        return LayoutSolution(
+            status=solution.status,
+            objective=solution.objective,
+            symbol_values=symbol_values,
+            node_stage=node_stage,
+            instance_stage=instance_stage,
+            register_alloc=register_alloc,
+            iteration_active=iteration_active,
+            solve_seconds=solution.solve_seconds,
+            backend=solution.backend,
+            num_variables=lm.model.num_variables,
+            num_constraints=lm.model.num_constraints,
+        )
+
+
+def _affine_expr(
+    expr: ast.Expr,
+    env: dict[str, LinExpr],
+    consts: dict[str, int],
+) -> LinExpr:
+    """Evaluate a static expression to a LinExpr, affine in ``env`` names."""
+    if isinstance(expr, ast.IntLit):
+        return LinExpr(constant=expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return LinExpr(constant=expr.value)
+    if isinstance(expr, ast.Name):
+        if expr.ident in env:
+            return env[expr.ident].copy()
+        if expr.ident in consts:
+            return LinExpr(constant=consts[expr.ident])
+        raise UtilityError(f"cannot use {expr.ident!r} in a static linear expression")
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return -_affine_expr(expr.operand, env, consts)
+    if isinstance(expr, ast.BinaryOp):
+        if expr.op == "+":
+            return _affine_expr(expr.left, env, consts) + _affine_expr(
+                expr.right, env, consts
+            )
+        if expr.op == "-":
+            return _affine_expr(expr.left, env, consts) - _affine_expr(
+                expr.right, env, consts
+            )
+        if expr.op == "*":
+            left = _try_static(expr.left, consts)
+            right = _try_static(expr.right, consts)
+            if left is not None:
+                return left * _affine_expr(expr.right, env, consts)
+            if right is not None:
+                return _affine_expr(expr.left, env, consts) * right
+            raise UtilityError(
+                "products of two symbolic expressions are not affine here"
+            )
+        if expr.op == "/":
+            right = _try_static(expr.right, consts)
+            if right:
+                return _affine_expr(expr.left, env, consts) * (1.0 / right)
+    raise UtilityError(
+        f"expression is not affine in the symbolic values: {type(expr).__name__}"
+    )
+
+
+def _try_static(expr: ast.Expr, consts: dict[str, int]):
+    try:
+        return eval_static(expr, consts)
+    except SemanticError:
+        return None

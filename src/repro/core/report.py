@@ -1,0 +1,49 @@
+"""Human-readable layout reports (Figure-7-style stage maps)."""
+
+from __future__ import annotations
+
+from .program import CompiledProgram
+
+__all__ = ["layout_report", "summary_line"]
+
+
+def summary_line(compiled: CompiledProgram) -> str:
+    """One line: chosen symbolic values plus timing."""
+    syms = ", ".join(f"{k}={v}" for k, v in sorted(compiled.symbol_values.items()))
+    return (
+        f"{compiled.source_name}: {syms} "
+        f"(objective {compiled.solution.objective:.4g}, "
+        f"{compiled.stats.total_seconds:.2f}s, "
+        f"ILP {compiled.stats.ilp_variables} vars / "
+        f"{compiled.stats.ilp_constraints} constrs)"
+    )
+
+
+def layout_report(compiled: CompiledProgram) -> str:
+    """Multi-line per-stage report: actions, registers, memory use."""
+    target = compiled.target
+    lines = [
+        f"Layout of {compiled.source_name} on {target.name} "
+        f"(S={target.stages}, M={target.memory_bits_per_stage} b/stage)",
+        f"  symbolic values: "
+        + ", ".join(f"{k}={v}" for k, v in sorted(compiled.symbol_values.items())),
+        f"  ILP: {compiled.stats.ilp_variables} variables, "
+        f"{compiled.stats.ilp_constraints} constraints, "
+        f"solved in {compiled.stats.ilp_solve_seconds:.3f}s "
+        f"({compiled.solution.backend})",
+    ]
+    for stage in range(target.stages):
+        units = compiled.units_in_stage(stage)
+        regs = compiled.registers_in_stage(stage)
+        if not units and not regs:
+            continue
+        mem = sum(r.size_bits for r in regs)
+        pct = 100.0 * mem / target.memory_bits_per_stage
+        lines.append(f"  stage {stage}: memory {mem} b ({pct:.1f}%)")
+        for unit in units:
+            lines.append(f"    action   {unit.label}")
+        for reg in regs:
+            lines.append(
+                f"    register {reg.name}: {reg.cells} x {reg.width} b"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,138 @@
+"""Standalone validation of compiled layouts.
+
+:func:`validate_layout` re-checks a :class:`CompiledProgram` against
+every rule the layout ILP encoded — independently of the ILP, from the
+artifact alone. The PISA simulator runs the same checks at load time;
+this module makes them available without building a pipeline (and is
+what the compiler driver's ``verify`` flag and several tests use).
+
+Checks: per-stage memory (registers + table SRAM), stateful/stateless
+ALUs, hash units, PHV capacity, register/action co-location, equal sizes
+within register families, dependency ordering (precedence strictly
+increasing, exclusions in distinct stages), and iteration-prefix
+activation.
+"""
+
+from __future__ import annotations
+
+from ..analysis.dependencies import build_dependency_graph
+from ..lang.symbols import eval_static
+from .errors import CompileError
+from .program import CompiledProgram
+from .tablemem import table_memory_bits
+
+__all__ = ["validate_layout", "LayoutValidationError"]
+
+
+class LayoutValidationError(CompileError):
+    """A compiled layout violates a resource or dependency rule."""
+
+
+def _fail(message: str) -> None:
+    raise LayoutValidationError(message)
+
+
+def validate_layout(
+    compiled: CompiledProgram,
+    hash_unit_limits: bool = True,
+    table_memory: bool = True,
+) -> None:
+    """Raise :class:`LayoutValidationError` on any violated rule.
+
+    ``hash_unit_limits``/``table_memory`` mirror the corresponding
+    :class:`~repro.core.layout.LayoutOptions` flags, so layouts compiled
+    with an extension disabled validate under the same rules.
+    """
+    target = compiled.target
+    info = compiled.info
+
+    # -- per-stage resource budgets ----------------------------------------
+    for stage in range(target.stages):
+        units = compiled.units_in_stage(stage)
+        regs = compiled.registers_in_stage(stage)
+        memory = sum(r.size_bits for r in regs)
+        if table_memory:
+            memory += sum(
+                table_memory_bits(info.tables[u.instance.table], info)
+                for u in units
+                if u.instance.table is not None
+            )
+        if memory > target.memory_bits_per_stage:
+            _fail(f"stage {stage}: memory {memory} exceeds "
+                  f"{target.memory_bits_per_stage} bits")
+        stateful = sum(target.hf(u.instance.cost) for u in units)
+        if stateful > target.stateful_alus_per_stage:
+            _fail(f"stage {stage}: {stateful} stateful ALUs exceed "
+                  f"{target.stateful_alus_per_stage}")
+        stateless = sum(target.hl(u.instance.cost) for u in units)
+        if stateless > target.stateless_alus_per_stage:
+            _fail(f"stage {stage}: {stateless} stateless ALUs exceed "
+                  f"{target.stateless_alus_per_stage}")
+        if hash_unit_limits:
+            hashes = sum(u.instance.cost.hash_ops for u in units)
+            if hashes > target.hash_units_per_stage:
+                _fail(f"stage {stage}: {hashes} hash ops exceed "
+                      f"{target.hash_units_per_stage} units")
+
+    # -- PHV ---------------------------------------------------------------
+    env = dict(info.consts)
+    env.update(compiled.symbol_values)
+    phv_bits = 0
+    for fd in info.metadata.values():
+        if fd.array_size is None:
+            phv_bits += fd.width
+        else:
+            phv_bits += fd.width * int(eval_static(fd.array_size, env))
+    phv_bits += sum(info.header_fields.values())
+    if phv_bits > target.phv_bits:
+        _fail(f"PHV allocation {phv_bits} exceeds {target.phv_bits} bits")
+
+    # -- register placement ---------------------------------------------------
+    reg_stage = {(r.family, r.index): r.stage for r in compiled.registers}
+    family_sizes: dict[str, set[int]] = {}
+    for reg in compiled.registers:
+        family_sizes.setdefault(reg.family, set()).add(reg.cells)
+    for family, sizes in family_sizes.items():
+        if len(sizes) > 1:
+            _fail(f"register family {family!r} has unequal sizes {sorted(sizes)}")
+    for unit in compiled.units:
+        for fam, idx in unit.instance.registers:
+            placed = reg_stage.get((fam, idx))
+            if placed is None:
+                _fail(f"unit {unit.label} touches unallocated register "
+                      f"{fam}[{idx}]")
+            if placed != unit.stage:
+                _fail(f"unit {unit.label} in stage {unit.stage} touches "
+                      f"register {fam}[{idx}] in stage {placed}")
+
+    # -- dependency ordering ----------------------------------------------------
+    instances = [u.instance for u in compiled.units]
+    stage_of_uid = {u.instance.uid: u.stage for u in compiled.units}
+    graph = build_dependency_graph(sorted(instances, key=lambda i: i.source_order))
+    for src, dst in graph.precedence_edges():
+        s_src = stage_of_uid[src.instances[0].uid]
+        s_dst = stage_of_uid[dst.instances[0].uid]
+        if not s_src < s_dst:
+            _fail(f"precedence violated: {src.label} (stage {s_src}) must "
+                  f"precede {dst.label} (stage {s_dst})")
+    for a, b in graph.exclusion_edges():
+        s_a = stage_of_uid[a.instances[0].uid]
+        s_b = stage_of_uid[b.instances[0].uid]
+        if s_a == s_b:
+            _fail(f"exclusion violated: {a.label} and {b.label} share "
+                  f"stage {s_a}")
+
+    # -- iteration activation forms a prefix -----------------------------------
+    by_symbolic: dict[str, set[int]] = {}
+    for inst in instances:
+        if inst.symbolic is not None:
+            by_symbolic.setdefault(inst.symbolic, set()).add(inst.iteration)
+    for symbolic, iterations in by_symbolic.items():
+        expected = set(range(len(iterations)))
+        if iterations != expected:
+            _fail(f"iterations of {symbolic!r} are not a prefix: "
+                  f"{sorted(iterations)}")
+        if compiled.symbol_values.get(symbolic) != len(iterations):
+            _fail(f"symbolic {symbolic!r} value "
+                  f"{compiled.symbol_values.get(symbolic)} != "
+                  f"{len(iterations)} placed iterations")

@@ -1,0 +1,72 @@
+"""Experiment harnesses — one per paper table/figure (DESIGN.md §4).
+
+=============  ============================================================
+fig01_library  the module library stretches per target (Figure 1)
+fig04_quality  NetCache hit-rate surface across resource splits (Figure 4)
+fig07_layout   the optimal NetCache layout (Figure 7)
+fig09_unroll   loop-unrolling bound on the worked example (Figure 9)
+fig11_apps     LoC / compile time / ILP size per application (Figure 11)
+fig12_elastic  structure sizes as per-stage memory grows (Figure 12)
+fig13_utility  utility-function choice flips the split (Figure 13)
+ablations      greedy vs ILP, exclusion handling, bound tightness, solvers
+=============  ============================================================
+"""
+
+from .ablations import (
+    BoundTightness,
+    ExclusionAblation,
+    GreedyVsIlp,
+    SolverComparison,
+    compare_exclusion_handling,
+    compare_greedy_vs_ilp,
+    compare_solvers,
+    measure_bound_tightness,
+)
+from .fig01_library import LibraryDemo, run_library_demo
+from .fig04_quality import QualityPoint, QualitySweep, run_quality_sweep
+from .fig07_layout import NETCACHE_KV_FLOOR_BITS, LayoutFacts, run_layout
+from .fig09_unroll import UnrollFacts, run_unroll_example
+from .fig11_apps import AppBenchmark, AppRow, count_loc, run_app_benchmark
+from .fig12_elastic import ElasticityPoint, ElasticitySweep, run_memory_sweep
+from .fig13_utility import (
+    UTILITY_CMS_WEIGHTED,
+    UTILITY_KV_WEIGHTED,
+    UtilityComparison,
+    UtilityOutcome,
+    run_utility_comparison,
+)
+from .tables import render_table
+
+__all__ = [
+    "BoundTightness",
+    "ExclusionAblation",
+    "GreedyVsIlp",
+    "SolverComparison",
+    "compare_exclusion_handling",
+    "compare_greedy_vs_ilp",
+    "compare_solvers",
+    "measure_bound_tightness",
+    "LibraryDemo",
+    "run_library_demo",
+    "QualityPoint",
+    "QualitySweep",
+    "run_quality_sweep",
+    "NETCACHE_KV_FLOOR_BITS",
+    "LayoutFacts",
+    "run_layout",
+    "UnrollFacts",
+    "run_unroll_example",
+    "AppBenchmark",
+    "AppRow",
+    "count_loc",
+    "run_app_benchmark",
+    "ElasticityPoint",
+    "ElasticitySweep",
+    "run_memory_sweep",
+    "UTILITY_CMS_WEIGHTED",
+    "UTILITY_KV_WEIGHTED",
+    "UtilityComparison",
+    "UtilityOutcome",
+    "run_utility_comparison",
+    "render_table",
+]

@@ -1,0 +1,135 @@
+"""Figure 4 — NetCache quality across resource splits.
+
+The paper's Figure 4 shows the application's quality (cache hit rate)
+for different combinations of key-value-store and count-min-sketch
+resources, with the compiler's utility-optimal configuration achieving
+the highest quality. This harness:
+
+1. enumerates configurations that split a fixed memory budget between
+   the sketch and the store (at several CMS row counts),
+2. runs the NetCache control loop on a Zipf key trace for each,
+3. reports the hit-rate surface and the configuration the P4All compiler
+   actually picks for the corresponding target, so the two can be
+   compared (the compiler's pick should sit at/near the optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.netcache import simulate_netcache
+from ..workloads.zipf import ZipfGenerator
+from .tables import render_table
+
+__all__ = ["QualityPoint", "QualitySweep", "run_quality_sweep"]
+
+_KV_ITEM_BITS = 32 + 64 * 2  # key + two 64-bit value slices
+_CMS_ITEM_BITS = 32
+
+
+@dataclass
+class QualityPoint:
+    """One configuration's outcome."""
+
+    cms_rows: int
+    cms_cols: int
+    kv_rows: int
+    kv_cols: int
+    hit_rate: float
+    insertions: int
+
+    @property
+    def kv_items(self) -> int:
+        return self.kv_rows * self.kv_cols
+
+    @property
+    def cms_cells(self) -> int:
+        return self.cms_rows * self.cms_cols
+
+
+@dataclass
+class QualitySweep:
+    """All sweep points plus the best and the workload's oracle bound."""
+
+    points: list[QualityPoint] = field(default_factory=list)
+    oracle_hit_rate: float = 0.0
+
+    @property
+    def best(self) -> QualityPoint:
+        return max(self.points, key=lambda p: p.hit_rate)
+
+    def nearest(self, kv_items: int) -> QualityPoint:
+        """Sweep point closest to a given cache size (for comparing the
+        compiler's chosen configuration against the surface)."""
+        return min(self.points, key=lambda p: abs(p.kv_items - kv_items))
+
+    def format(self) -> str:
+        rows = [
+            [p.cms_rows, p.cms_cols, p.kv_rows, p.kv_cols,
+             p.kv_items, f"{p.hit_rate:.4f}"]
+            for p in sorted(self.points, key=lambda p: (p.cms_rows, p.kv_items))
+        ]
+        table = render_table(
+            ["cms_rows", "cms_cols", "kv_rows", "kv_cols", "kv_items", "hit_rate"],
+            rows,
+            title="Figure 4 — NetCache quality across KVS/CMS resource splits",
+        )
+        best = self.best
+        return (
+            f"{table}\n"
+            f"best: cms {best.cms_rows}x{best.cms_cols}, "
+            f"kv {best.kv_rows}x{best.kv_cols} -> hit rate {best.hit_rate:.4f} "
+            f"(oracle {self.oracle_hit_rate:.4f})"
+        )
+
+
+def run_quality_sweep(
+    memory_budget_bits: int = 4 * (1 << 20),
+    cms_row_options: tuple[int, ...] = (1, 2, 4),
+    kv_fractions: tuple[float, ...] = (0.0, 0.2, 0.4, 0.6, 0.8, 0.95, 0.99),
+    packets: int = 60_000,
+    universe: int = 100_000,
+    alpha: float = 1.0,
+    hot_threshold: int = 2,
+    kv_rows: int = 4,
+    seed: int = 42,
+) -> QualitySweep:
+    """Sweep memory splits between the sketch and the store.
+
+    Each point gives fraction ``f`` of the budget to the KV store (items
+    of ``_KV_ITEM_BITS`` bits across ``kv_rows`` rows) and the rest to a
+    ``rows``-row CMS. Degenerate points (no cache at all / no sketch at
+    all) are included deliberately — the paper's Figure 4 shows quality
+    collapsing at the extremes.
+    """
+    gen = ZipfGenerator(universe, alpha=alpha, seed=seed)
+    keys = gen.sample(packets)
+    sweep = QualitySweep()
+    for rows in cms_row_options:
+        for fraction in kv_fractions:
+            kv_bits = int(memory_budget_bits * fraction)
+            cms_bits = memory_budget_bits - kv_bits
+            kv_cols = max(kv_bits // (_KV_ITEM_BITS * kv_rows), 0)
+            cms_cols = max(cms_bits // (_CMS_ITEM_BITS * rows), 0)
+            stats = simulate_netcache(
+                cms_rows=rows,
+                cms_cols=cms_cols,
+                kv_rows=kv_rows,
+                kv_cols=kv_cols,
+                keys=keys,
+                hot_threshold=hot_threshold,
+            )
+            sweep.points.append(
+                QualityPoint(
+                    cms_rows=rows,
+                    cms_cols=cms_cols,
+                    kv_rows=kv_rows if kv_cols else 0,
+                    kv_cols=kv_cols,
+                    hit_rate=stats.hit_rate,
+                    insertions=stats.insertions,
+                )
+            )
+    sweep.oracle_hit_rate = gen.optimal_hit_rate(
+        memory_budget_bits // _KV_ITEM_BITS
+    )
+    return sweep

@@ -1,0 +1,25 @@
+"""Small ASCII table renderer for experiment output."""
+
+from __future__ import annotations
+
+__all__ = ["render_table"]
+
+
+def render_table(headers: list[str], rows: list[list], title: str = "") -> str:
+    """Render rows as a fixed-width ASCII table."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in cells)) if cells else len(headers[i])
+        for i in range(len(headers))
+    ]
+
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+
+    out = []
+    if title:
+        out.append(title)
+    out.append(line(headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in cells)
+    return "\n".join(out)

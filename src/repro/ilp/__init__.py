@@ -1,0 +1,32 @@
+"""Generic mixed-integer linear programming substrate.
+
+The P4All compiler core (:mod:`repro.core`) expresses the Figure-10 layout
+problem through this package. It provides:
+
+* :class:`Model`, :class:`Var`, :class:`LinExpr`, :class:`Constraint` —
+  a small modeling layer (:mod:`repro.ilp.model`);
+* :func:`solve` — backend dispatch over scipy-HiGHS and a from-scratch
+  branch-and-bound solver (:mod:`repro.ilp.solver`).
+"""
+
+from .lpwriter import model_to_lp, write_lp
+from .model import Constraint, LinExpr, Model, ModelError, Sense, Var, VarType
+from .solution import Solution, SolveStatus, SolverError
+from .solver import available_backends, solve
+
+__all__ = [
+    "model_to_lp",
+    "write_lp",
+    "Constraint",
+    "LinExpr",
+    "Model",
+    "ModelError",
+    "Sense",
+    "Var",
+    "VarType",
+    "Solution",
+    "SolveStatus",
+    "SolverError",
+    "available_backends",
+    "solve",
+]

@@ -1,0 +1,92 @@
+"""CPLEX-LP-format export for MILP models.
+
+``write_lp``/``model_to_lp`` serialize a :class:`~repro.ilp.model.Model`
+in the widely-supported LP text format, so layout ILPs can be inspected
+by hand or loaded into external solvers (Gurobi, CPLEX, HiGHS CLI, ...)
+— handy when debugging a formulation or comparing against the paper's
+Gurobi setup.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+
+from .model import Model, Sense, VarType
+
+__all__ = ["model_to_lp", "write_lp"]
+
+_NAME_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    """LP identifiers: alphanumerics and underscores, not digit-initial."""
+    clean = _NAME_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "v_" + clean
+    return clean
+
+
+def _unique_names(model: Model) -> dict:
+    seen: dict[str, int] = {}
+    names = {}
+    for var in model.variables:
+        base = _sanitize(var.name)
+        count = seen.get(base, 0)
+        seen[base] = count + 1
+        names[var] = base if count == 0 else f"{base}__{count}"
+    return names
+
+
+def _expr_text(terms, names) -> str:
+    parts = []
+    for var, coef in terms.items():
+        if coef == 0:
+            continue
+        sign = "-" if coef < 0 else "+"
+        mag = abs(coef)
+        coef_text = "" if mag == 1 else f"{mag:.12g} "
+        parts.append(f"{sign} {coef_text}{names[var]}")
+    if not parts:
+        return "0"
+    text = " ".join(parts)
+    return text[2:] if text.startswith("+ ") else text
+
+
+def model_to_lp(model: Model) -> str:
+    """Serialize the model in CPLEX LP format (objective in the model's
+    own sense; constraint constants folded into the right-hand side)."""
+    names = _unique_names(model)
+    lines = [f"\\ {model.name}"]
+    lines.append("Maximize" if model.objective.maximize else "Minimize")
+    lines.append(f" obj: {_expr_text(model.objective.expr.terms, names)}")
+    lines.append("Subject To")
+    for i, constr in enumerate(model.constraints):
+        label = _sanitize(constr.name) if constr.name else f"c{i}"
+        rhs = -constr.expr.constant
+        op = {Sense.LE: "<=", Sense.GE: ">=", Sense.EQ: "="}[constr.sense]
+        lines.append(
+            f" {label}_{i}: {_expr_text(constr.expr.terms, names)} {op} {rhs:.12g}"
+        )
+    lines.append("Bounds")
+    for var in model.variables:
+        name = names[var]
+        lo = "-inf" if math.isinf(var.lb) else f"{var.lb:.12g}"
+        hi = "+inf" if math.isinf(var.ub) else f"{var.ub:.12g}"
+        lines.append(f" {lo} <= {name} <= {hi}")
+    general = [names[v] for v in model.variables if v.vartype is VarType.INTEGER]
+    binary = [names[v] for v in model.variables if v.vartype is VarType.BINARY]
+    if general:
+        lines.append("General")
+        lines.append(" " + " ".join(general))
+    if binary:
+        lines.append("Binary")
+        lines.append(" " + " ".join(binary))
+    lines.append("End")
+    return "\n".join(lines) + "\n"
+
+
+def write_lp(model: Model, path: str | Path) -> None:
+    """Write the model to an ``.lp`` file."""
+    Path(path).write_text(model_to_lp(model))

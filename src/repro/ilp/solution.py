@@ -1,0 +1,65 @@
+"""Solver-independent solution objects."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .model import Model, Var
+
+__all__ = ["SolveStatus", "Solution", "SolverError"]
+
+
+class SolverError(Exception):
+    """Raised when a backend cannot process the model at all."""
+
+
+class SolveStatus(enum.Enum):
+    """Outcome of a solve call."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"
+    ERROR = "error"
+
+    @property
+    def ok(self) -> bool:
+        return self is SolveStatus.OPTIMAL
+
+
+@dataclass
+class Solution:
+    """Result of solving a :class:`~repro.ilp.model.Model`.
+
+    ``values`` maps variables to (already-rounded, for integer variables)
+    solution values; ``objective`` is the objective value in the model's
+    own sense (i.e., the maximized value for maximization models).
+    """
+
+    status: SolveStatus
+    objective: float = 0.0
+    values: Mapping[Var, float] = field(default_factory=dict)
+    solve_seconds: float = 0.0
+    backend: str = ""
+    nodes_explored: int = 0
+
+    def __getitem__(self, var: Var) -> float:
+        return self.values[var]
+
+    def value(self, var: Var, default: float = 0.0) -> float:
+        return self.values.get(var, default)
+
+    def int_value(self, var: Var, default: int = 0) -> int:
+        return int(round(self.values.get(var, default)))
+
+    def check(self, model: Model, tol: float = 1e-5) -> bool:
+        """Verify this solution is feasible for ``model``."""
+        return self.status.ok and model.is_feasible(self.values, tol)
+
+    def __repr__(self) -> str:
+        return (
+            f"Solution({self.status.value}, obj={self.objective:.6g}, "
+            f"backend={self.backend!r}, {self.solve_seconds * 1e3:.1f} ms)"
+        )

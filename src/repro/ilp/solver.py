@@ -1,0 +1,47 @@
+"""Backend dispatch for MILP solving.
+
+``solve(model)`` picks the best available exact backend: scipy's HiGHS
+MILP engine when importable, otherwise the built-in branch and bound.
+Callers can force a backend by name, which the cross-check tests and the
+solver-ablation benchmark use.
+"""
+
+from __future__ import annotations
+
+from .model import Model
+from .solution import Solution, SolverError
+
+__all__ = ["solve", "available_backends"]
+
+_BACKENDS = ("scipy", "bb")
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names of usable backends, preferred first."""
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:  # pragma: no cover
+        return ("bb",)
+    return _BACKENDS
+
+
+def solve(
+    model: Model,
+    backend: str = "auto",
+    time_limit: float | None = None,
+) -> Solution:
+    """Solve a model with the chosen backend.
+
+    ``backend`` is ``"auto"`` (prefer HiGHS), ``"scipy"``, or ``"bb"``.
+    """
+    if backend == "auto":
+        backend = available_backends()[0]
+    if backend == "scipy":
+        from .solver_scipy import solve_scipy
+
+        return solve_scipy(model, time_limit=time_limit)
+    if backend == "bb":
+        from .solver_bb import solve_branch_and_bound
+
+        return solve_branch_and_bound(model, time_limit=time_limit)
+    raise SolverError(f"unknown ILP backend {backend!r}; options: auto, scipy, bb")

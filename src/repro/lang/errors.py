@@ -1,0 +1,89 @@
+"""Source locations and diagnostic errors for the P4All front end.
+
+Every front-end failure carries a :class:`SourceLocation` and renders a
+caret-annotated snippet, because the paper's motivation (§3) is precisely
+that P4 toolchains give poor feedback; a reproduction should not repeat
+that mistake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "SourceLocation",
+    "P4AllError",
+    "LexError",
+    "ParseError",
+    "SemanticError",
+]
+
+
+@dataclass(frozen=True)
+class SourceLocation:
+    """A (line, column) position inside a named source buffer.
+
+    Lines and columns are 1-based; ``filename`` is a display name (a path
+    or ``"<string>"`` for in-memory programs).
+    """
+
+    filename: str = "<string>"
+    line: int = 1
+    column: int = 1
+
+    def __str__(self) -> str:
+        return f"{self.filename}:{self.line}:{self.column}"
+
+    @staticmethod
+    def unknown() -> "SourceLocation":
+        return SourceLocation("<unknown>", 0, 0)
+
+
+class P4AllError(Exception):
+    """Base class of all front-end diagnostics.
+
+    ``source`` (the full program text) is optional; when present, the
+    stringified error includes the offending line with a caret marker.
+    """
+
+    kind = "error"
+
+    def __init__(
+        self,
+        message: str,
+        loc: SourceLocation | None = None,
+        source: str | None = None,
+    ):
+        self.message = message
+        self.loc = loc or SourceLocation.unknown()
+        self.source = source
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        header = f"{self.loc}: {self.kind}: {self.message}"
+        if not self.source or self.loc.line <= 0:
+            return header
+        lines = self.source.splitlines()
+        if self.loc.line > len(lines):
+            return header
+        snippet = lines[self.loc.line - 1]
+        caret = " " * (self.loc.column - 1) + "^"
+        return f"{header}\n  {snippet}\n  {caret}"
+
+
+class LexError(P4AllError):
+    """Tokenization failure (bad character, unterminated literal, ...)."""
+
+    kind = "lex error"
+
+
+class ParseError(P4AllError):
+    """Grammar violation while parsing."""
+
+    kind = "parse error"
+
+
+class SemanticError(P4AllError):
+    """Name/type/elasticity violation found after parsing."""
+
+    kind = "semantic error"

@@ -1,0 +1,232 @@
+"""Hand-written lexer for P4All.
+
+Supports C-style ``//`` and ``/* */`` comments, decimal / hex / binary
+integer literals, P4-style width-prefixed literals (``8w255``), and the
+full operator set used by the parser.
+"""
+
+from __future__ import annotations
+
+from .errors import LexError, SourceLocation
+from .tokens import KEYWORDS, Token, TokenKind
+
+__all__ = ["Lexer", "tokenize"]
+
+_TWO_CHAR_OPS = {
+    "<<": TokenKind.SHL,
+    ">>": TokenKind.SHR,
+    "<=": TokenKind.LE,
+    ">=": TokenKind.GE,
+    "==": TokenKind.EQ,
+    "!=": TokenKind.NE,
+    "&&": TokenKind.AND,
+    "||": TokenKind.OR,
+}
+
+_ONE_CHAR_OPS = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    ":": TokenKind.COLON,
+    "?": TokenKind.QUESTION,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+    "~": TokenKind.TILDE,
+}
+
+
+class Lexer:
+    """Streaming tokenizer over a source string."""
+
+    def __init__(self, source: str, filename: str = "<string>"):
+        self.source = source
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.col = 1
+
+    # -- low-level cursor ---------------------------------------------------
+    def _loc(self) -> SourceLocation:
+        return SourceLocation(self.filename, self.line, self.col)
+
+    def _peek(self, ahead: int = 0) -> str:
+        idx = self.pos + ahead
+        return self.source[idx] if idx < len(self.source) else ""
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos < len(self.source):
+                if self.source[self.pos] == "\n":
+                    self.line += 1
+                    self.col = 1
+                else:
+                    self.col += 1
+                self.pos += 1
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments, raising on unterminated blocks."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "@":
+                # Annotations like @stage(3) are metadata for downstream
+                # tools; skip them as trivia so generated P4 re-parses.
+                self._advance()
+                while self._peek().isalnum() or self._peek() == "_":
+                    self._advance()
+                if self._peek() == "(":
+                    depth = 0
+                    while True:
+                        c = self._peek()
+                        if not c:
+                            raise LexError(
+                                "unterminated annotation arguments",
+                                self._loc(), self.source,
+                            )
+                        if c == "(":
+                            depth += 1
+                        elif c == ")":
+                            depth -= 1
+                        self._advance()
+                        if depth == 0:
+                            break
+            elif ch == "/" and self._peek(1) == "*":
+                start = self._loc()
+                self._advance(2)
+                while not (self._peek() == "*" and self._peek(1) == "/"):
+                    if self.pos >= len(self.source):
+                        raise LexError("unterminated block comment", start, self.source)
+                    self._advance()
+                self._advance(2)
+            else:
+                return
+
+    # -- token scanners -----------------------------------------------------
+    def _scan_number(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            self._advance(2)
+            while self._peek().isalnum() or self._peek() == "_":
+                self._advance()
+            text = self.source[start:self.pos].replace("_", "")
+            try:
+                return Token(TokenKind.INT, int(text, 16), loc)
+            except ValueError:
+                raise LexError(f"bad hex literal {text!r}", loc, self.source) from None
+        if self._peek() == "0" and self._peek(1) in ("b", "B"):
+            self._advance(2)
+            while self._peek() and self._peek() in "01_":
+                self._advance()
+            text = self.source[start:self.pos].replace("_", "")
+            try:
+                return Token(TokenKind.INT, int(text, 2), loc)
+            except ValueError:
+                raise LexError(f"bad binary literal {text!r}", loc, self.source) from None
+        while self._peek().isdigit() or self._peek() == "_":
+            self._advance()
+        # Float literal (used in utility functions): ``0.4``, ``12.5``.
+        if self._peek() == "." and self._peek(1).isdigit():
+            self._advance()
+            while self._peek().isdigit():
+                self._advance()
+            text = self.source[start:self.pos].replace("_", "")
+            return Token(TokenKind.FLOAT, float(text), loc)
+        # P4-style width prefix: ``8w255`` — the width part was just read.
+        if self._peek() == "w" and self._peek(1).isdigit():
+            self._advance()  # skip 'w'; width is informative only
+            num_start = self.pos
+            while self._peek().isdigit():
+                self._advance()
+            return Token(TokenKind.INT, int(self.source[num_start:self.pos]), loc)
+        text = self.source[start:self.pos].replace("_", "")
+        return Token(TokenKind.INT, int(text), loc)
+
+    def _scan_ident(self) -> Token:
+        loc = self._loc()
+        start = self.pos
+        while self._peek().isalnum() or self._peek() == "_":
+            self._advance()
+        text = self.source[start:self.pos]
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        if kind is TokenKind.KW_TRUE:
+            return Token(kind, True, loc)
+        if kind is TokenKind.KW_FALSE:
+            return Token(kind, False, loc)
+        return Token(kind, text, loc)
+
+    def _scan_string(self) -> Token:
+        loc = self._loc()
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while True:
+            ch = self._peek()
+            if not ch or ch == "\n":
+                raise LexError("unterminated string literal", loc, self.source)
+            if ch == '"':
+                self._advance()
+                return Token(TokenKind.STRING, "".join(chars), loc)
+            if ch == "\\":
+                self._advance()
+                esc = self._peek()
+                chars.append({"n": "\n", "t": "\t", '"': '"', "\\": "\\"}.get(esc, esc))
+                self._advance()
+            else:
+                chars.append(ch)
+                self._advance()
+
+    def next_token(self) -> Token:
+        """Scan and return the next token (EOF repeats at end of input)."""
+        self._skip_trivia()
+        loc = self._loc()
+        ch = self._peek()
+        if not ch:
+            return Token(TokenKind.EOF, None, loc)
+        if ch.isdigit():
+            return self._scan_number()
+        if ch.isalpha() or ch == "_":
+            return self._scan_ident()
+        if ch == '"':
+            return self._scan_string()
+        two = ch + self._peek(1)
+        if two in _TWO_CHAR_OPS:
+            self._advance(2)
+            return Token(_TWO_CHAR_OPS[two], two, loc)
+        if ch in _ONE_CHAR_OPS:
+            self._advance()
+            return Token(_ONE_CHAR_OPS[ch], ch, loc)
+        raise LexError(f"unexpected character {ch!r}", loc, self.source)
+
+    def tokens(self) -> list[Token]:
+        """Tokenize the whole input, including the trailing EOF token."""
+        out: list[Token] = []
+        while True:
+            tok = self.next_token()
+            out.append(tok)
+            if tok.kind is TokenKind.EOF:
+                return out
+
+
+def tokenize(source: str, filename: str = "<string>") -> list[Token]:
+    """Convenience wrapper: tokenize ``source`` fully."""
+    return Lexer(source, filename).tokens()

@@ -1,0 +1,183 @@
+"""Pretty-printer: AST → P4All source text.
+
+Used for diagnostics, golden tests, and round-trip property tests
+(``parse(pretty(parse(src)))`` must equal ``parse(src)``). The concrete-P4
+code generator in :mod:`repro.core.codegen` reuses the expression printer.
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+__all__ = ["pretty_program", "pretty_expr", "pretty_stmt", "pretty_type"]
+
+_INDENT = "    "
+
+
+def pretty_type(ty: ast.Type) -> str:
+    if isinstance(ty, ast.BitType):
+        return f"bit<{ty.width}>"
+    if isinstance(ty, ast.BoolType):
+        return "bool"
+    if isinstance(ty, ast.IntType):
+        return "int"
+    if isinstance(ty, ast.NamedType):
+        return ty.name
+    raise TypeError(f"unknown type node {type(ty).__name__}")
+
+
+def pretty_expr(expr: ast.Expr) -> str:
+    """Render an expression with minimal but safe parenthesization."""
+    return _expr(expr, 0)
+
+
+# Precedence levels mirrored from the parser (higher binds tighter).
+_PREC = {
+    "||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+    "==": 6, "!=": 6,
+    "<": 7, ">": 7, "<=": 7, ">=": 7,
+    "<<": 8, ">>": 8,
+    "+": 9, "-": 9,
+    "*": 10, "/": 10, "%": 10,
+}
+_UNARY_PREC = 11
+
+
+def _expr(expr: ast.Expr, parent_prec: int) -> str:
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.Name):
+        return expr.ident
+    if isinstance(expr, ast.Member):
+        return f"{_expr(expr.base, _UNARY_PREC)}.{expr.name}"
+    if isinstance(expr, ast.Index):
+        return f"{_expr(expr.base, _UNARY_PREC)}[{_expr(expr.index, 0)}]"
+    if isinstance(expr, ast.UnaryOp):
+        inner = _expr(expr.operand, _UNARY_PREC)
+        text = f"{expr.op}{inner}"
+        return text if parent_prec < _UNARY_PREC else f"({text})"
+    if isinstance(expr, ast.BinaryOp):
+        prec = _PREC[expr.op]
+        left = _expr(expr.left, prec)
+        right = _expr(expr.right, prec + 1)  # left-associative
+        text = f"{left} {expr.op} {right}"
+        return text if prec >= parent_prec else f"({text})"
+    if isinstance(expr, ast.Ternary):
+        text = (
+            f"{_expr(expr.cond, 1)} ? {_expr(expr.if_true, 0)} : {_expr(expr.if_false, 0)}"
+        )
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, ast.Call):
+        func = _expr(expr.func, _UNARY_PREC)
+        args = ", ".join(_expr(a, 0) for a in expr.args)
+        suffix = f"[{_expr(expr.iter_index, 0)}]" if expr.iter_index is not None else ""
+        return f"{func}({args}){suffix}"
+    raise TypeError(f"unknown expression node {type(expr).__name__}")
+
+
+def pretty_stmt(stmt: ast.Stmt, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if isinstance(stmt, ast.Block):
+        return _block(stmt, indent)
+    if isinstance(stmt, ast.Assign):
+        return f"{pad}{pretty_expr(stmt.target)} = {pretty_expr(stmt.value)};"
+    if isinstance(stmt, ast.CallStmt):
+        return f"{pad}{pretty_expr(stmt.call)};"
+    if isinstance(stmt, ast.IfStmt):
+        out = f"{pad}if ({pretty_expr(stmt.cond)}) {_block(stmt.then_block, indent, inline=True)}"
+        if stmt.else_block is not None:
+            out += f" else {_block(stmt.else_block, indent, inline=True)}"
+        return out
+    if isinstance(stmt, ast.ForStmt):
+        header = f"{pad}for ({stmt.var} < {pretty_expr(stmt.bound)}) "
+        return header + _block(stmt.body, indent, inline=True)
+    raise TypeError(f"unknown statement node {type(stmt).__name__}")
+
+
+def _block(block: ast.Block, indent: int, inline: bool = False) -> str:
+    pad = _INDENT * indent
+    lines = [pretty_stmt(s, indent + 1) for s in block.stmts]
+    body = "\n".join(lines)
+    opener = "{" if inline else f"{pad}{{"
+    if not lines:
+        return opener + " }"
+    return f"{opener}\n{body}\n{pad}}}"
+
+
+def _field(fd: ast.FieldDecl, indent: int) -> str:
+    pad = _INDENT * indent
+    if fd.array_size is not None:
+        return f"{pad}{pretty_type(fd.ty)}[{pretty_expr(fd.array_size)}] {fd.name};"
+    return f"{pad}{pretty_type(fd.ty)} {fd.name};"
+
+
+def _params(params: list[ast.Param]) -> str:
+    parts = []
+    for p in params:
+        prefix = f"{p.direction} " if p.direction else ""
+        parts.append(f"{prefix}{pretty_type(p.ty)} {p.name}")
+    return ", ".join(parts)
+
+
+def pretty_decl(decl: ast.Decl, indent: int = 0) -> str:
+    pad = _INDENT * indent
+    if isinstance(decl, ast.SymbolicDecl):
+        return f"{pad}symbolic int {decl.name};"
+    if isinstance(decl, ast.AssumeDecl):
+        return f"{pad}assume {pretty_expr(decl.condition)};"
+    if isinstance(decl, ast.OptimizeDecl):
+        return f"{pad}optimize {pretty_expr(decl.utility)};"
+    if isinstance(decl, ast.ConstDecl):
+        return f"{pad}const {pretty_type(decl.ty)} {decl.name} = {pretty_expr(decl.value)};"
+    if isinstance(decl, (ast.HeaderDecl, ast.StructDecl)):
+        kw = "header" if isinstance(decl, ast.HeaderDecl) else "struct"
+        fields = "\n".join(_field(f, indent + 1) for f in decl.fields)
+        body = f"\n{fields}\n{pad}" if fields else ""
+        return f"{pad}{kw} {decl.name} {{{body}}}"
+    if isinstance(decl, ast.RegisterDecl):
+        count = f"[{pretty_expr(decl.count)}]" if decl.count is not None else ""
+        return (
+            f"{pad}register<{pretty_type(decl.cell_type)}>"
+            f"[{pretty_expr(decl.size)}]{count} {decl.name};"
+        )
+    if isinstance(decl, ast.ActionDecl):
+        iter_part = f"[int {decl.iter_param}]" if decl.iter_param else ""
+        header = f"{pad}action {decl.name}({_params(decl.params)}){iter_part} "
+        return header + _block(decl.body, indent, inline=True)
+    if isinstance(decl, ast.TableDecl):
+        lines = [f"{pad}table {decl.name} {{"]
+        inner = _INDENT * (indent + 1)
+        inner2 = _INDENT * (indent + 2)
+        if decl.keys:
+            lines.append(f"{inner}key = {{")
+            for key in decl.keys:
+                lines.append(f"{inner2}{pretty_expr(key.expr)} : {key.match_kind};")
+            lines.append(f"{inner}}}")
+        if decl.actions:
+            lines.append(f"{inner}actions = {{")
+            for name in decl.actions:
+                lines.append(f"{inner2}{name};")
+            lines.append(f"{inner}}}")
+        if decl.size is not None:
+            lines.append(f"{inner}size = {pretty_expr(decl.size)};")
+        if decl.default_action is not None:
+            lines.append(f"{inner}default_action = {decl.default_action};")
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    if isinstance(decl, ast.ControlDecl):
+        lines = [f"{pad}control {decl.name}({_params(decl.params)}) {{"]
+        for local in decl.locals:
+            lines.append(pretty_decl(local, indent + 1))
+        lines.append(f"{_INDENT * (indent + 1)}apply " + _block(decl.apply, indent + 1, inline=True))
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+    raise TypeError(f"unknown declaration node {type(decl).__name__}")
+
+
+def pretty_program(program: ast.Program) -> str:
+    """Render a full program; parses back to an equal AST."""
+    return "\n\n".join(pretty_decl(d) for d in program.decls) + "\n"

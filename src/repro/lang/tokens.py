@@ -1,0 +1,138 @@
+"""Token definitions for the P4All lexer."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .errors import SourceLocation
+
+__all__ = ["TokenKind", "Token", "KEYWORDS"]
+
+
+class TokenKind(enum.Enum):
+    """Lexical categories. Keywords get their own kinds for parser clarity."""
+
+    # Literals / identifiers
+    INT = "int literal"
+    FLOAT = "float literal"
+    IDENT = "identifier"
+    STRING = "string literal"
+
+    # Keywords (P4 subset + P4All extensions)
+    KW_SYMBOLIC = "symbolic"
+    KW_ASSUME = "assume"
+    KW_OPTIMIZE = "optimize"
+    KW_INT = "int"
+    KW_BIT = "bit"
+    KW_BOOL = "bool"
+    KW_TRUE = "true"
+    KW_FALSE = "false"
+    KW_CONST = "const"
+    KW_HEADER = "header"
+    KW_STRUCT = "struct"
+    KW_REGISTER = "register"
+    KW_ACTION = "action"
+    KW_TABLE = "table"
+    KW_CONTROL = "control"
+    KW_APPLY = "apply"
+    KW_KEY = "key"
+    KW_ACTIONS = "actions"
+    KW_SIZE = "size"
+    KW_DEFAULT_ACTION = "default_action"
+    KW_IF = "if"
+    KW_ELSE = "else"
+    KW_FOR = "for"
+    KW_RETURN = "return"
+    KW_EXACT = "exact"
+    KW_TERNARY = "ternary"
+    KW_LPM = "lpm"
+    KW_IN = "in"
+    KW_OUT = "out"
+    KW_INOUT = "inout"
+
+    # Punctuation / operators
+    LPAREN = "("
+    RPAREN = ")"
+    LBRACE = "{"
+    RBRACE = "}"
+    LBRACKET = "["
+    RBRACKET = "]"
+    SEMI = ";"
+    COMMA = ","
+    DOT = "."
+    COLON = ":"
+    QUESTION = "?"
+    ASSIGN = "="
+    PLUS = "+"
+    MINUS = "-"
+    STAR = "*"
+    SLASH = "/"
+    PERCENT = "%"
+    AMP = "&"
+    PIPE = "|"
+    CARET = "^"
+    SHL = "<<"
+    SHR = ">>"
+    LT = "<"
+    GT = ">"
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+    NE = "!="
+    AND = "&&"
+    OR = "||"
+    NOT = "!"
+    TILDE = "~"
+
+    EOF = "end of input"
+
+
+KEYWORDS: dict[str, TokenKind] = {
+    "symbolic": TokenKind.KW_SYMBOLIC,
+    "assume": TokenKind.KW_ASSUME,
+    "optimize": TokenKind.KW_OPTIMIZE,
+    "int": TokenKind.KW_INT,
+    "bit": TokenKind.KW_BIT,
+    "bool": TokenKind.KW_BOOL,
+    "true": TokenKind.KW_TRUE,
+    "false": TokenKind.KW_FALSE,
+    "const": TokenKind.KW_CONST,
+    "header": TokenKind.KW_HEADER,
+    "struct": TokenKind.KW_STRUCT,
+    "register": TokenKind.KW_REGISTER,
+    "action": TokenKind.KW_ACTION,
+    "table": TokenKind.KW_TABLE,
+    "control": TokenKind.KW_CONTROL,
+    "apply": TokenKind.KW_APPLY,
+    "key": TokenKind.KW_KEY,
+    "actions": TokenKind.KW_ACTIONS,
+    "size": TokenKind.KW_SIZE,
+    "default_action": TokenKind.KW_DEFAULT_ACTION,
+    "if": TokenKind.KW_IF,
+    "else": TokenKind.KW_ELSE,
+    "for": TokenKind.KW_FOR,
+    "return": TokenKind.KW_RETURN,
+    "exact": TokenKind.KW_EXACT,
+    "ternary": TokenKind.KW_TERNARY,
+    "lpm": TokenKind.KW_LPM,
+    "in": TokenKind.KW_IN,
+    "out": TokenKind.KW_OUT,
+    "inout": TokenKind.KW_INOUT,
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position.
+
+    ``value`` is the raw text for identifiers/operators and the parsed
+    integer for :data:`TokenKind.INT`.
+    """
+
+    kind: TokenKind
+    value: object
+    loc: SourceLocation
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind.name}, {self.value!r} @ {self.loc})"

@@ -1,0 +1,70 @@
+"""PISA data-plane model and simulator.
+
+Implements the architecture of the paper's §2 (Figure 2/3): targets and
+resource budgets (:mod:`resources`), packets and the PHV (:mod:`packet`,
+:mod:`phv`), stateful registers (:mod:`registers`), match-action tables
+(:mod:`tables`), hash units (:mod:`hashing`), ALU semantics (:mod:`alu`),
+and the staged pipeline interpreter (:mod:`pipeline`) that executes
+compiled P4All programs — the reproduction's substitute for the Tofino.
+"""
+
+from .alu import AluError, apply_binary, apply_unary
+from .hashing import Crc32Hash, HashFunction, MultiplyShiftHash, hash_family
+from .interp import ExecContext, SimulationError
+from .packet import Packet, make_flow_packets
+from .parser import Deparser, FieldSpec, PacketParser, ParseState
+from .parser import ParseError as PacketParseError
+from .phv import Phv, PhvError, PhvLayout
+from .pipeline import Pipeline, PipelineResult, ValidationError
+from .registers import RegisterArray, RegisterError, RegisterFile
+from .targetspec import load_target, save_target, target_from_dict, target_to_dict
+from .resources import (
+    ActionCost,
+    TargetSpec,
+    get_target,
+    small_target,
+    tofino,
+    toy_three_stage,
+)
+from .tables import MatchActionTable, TableEntry, TableError
+
+__all__ = [
+    "AluError",
+    "apply_binary",
+    "apply_unary",
+    "Crc32Hash",
+    "HashFunction",
+    "MultiplyShiftHash",
+    "hash_family",
+    "ExecContext",
+    "SimulationError",
+    "Packet",
+    "make_flow_packets",
+    "Deparser",
+    "FieldSpec",
+    "PacketParser",
+    "ParseState",
+    "PacketParseError",
+    "Phv",
+    "PhvError",
+    "PhvLayout",
+    "Pipeline",
+    "PipelineResult",
+    "ValidationError",
+    "load_target",
+    "save_target",
+    "target_from_dict",
+    "target_to_dict",
+    "RegisterArray",
+    "RegisterError",
+    "RegisterFile",
+    "ActionCost",
+    "TargetSpec",
+    "get_target",
+    "small_target",
+    "tofino",
+    "toy_three_stage",
+    "MatchActionTable",
+    "TableEntry",
+    "TableError",
+]

@@ -1,0 +1,65 @@
+"""Stateless ALU operation semantics.
+
+Centralizes the arithmetic the pipeline interpreter uses so that width
+masking and unsigned wraparound behave identically everywhere. All
+operands are Python ints treated as unsigned; ``width`` masking is applied
+by the caller (PHV writes mask on store).
+"""
+
+from __future__ import annotations
+
+__all__ = ["BINARY_OPS", "UNARY_OPS", "apply_binary", "apply_unary", "AluError"]
+
+
+class AluError(Exception):
+    """Unknown operation or invalid operand."""
+
+
+def _logical(value: bool) -> int:
+    return 1 if value else 0
+
+
+BINARY_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a // b if b else 0,   # hardware saturates; we define /0 = 0
+    "%": lambda a, b: a % b if b else 0,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << min(b, 64),
+    ">>": lambda a, b: a >> min(b, 64),
+    "==": lambda a, b: _logical(a == b),
+    "!=": lambda a, b: _logical(a != b),
+    "<": lambda a, b: _logical(a < b),
+    ">": lambda a, b: _logical(a > b),
+    "<=": lambda a, b: _logical(a <= b),
+    ">=": lambda a, b: _logical(a >= b),
+    "&&": lambda a, b: _logical(bool(a) and bool(b)),
+    "||": lambda a, b: _logical(bool(a) or bool(b)),
+}
+
+UNARY_OPS = {
+    "-": lambda a: -a,
+    "!": lambda a: _logical(not a),
+    "~": lambda a: ~a,
+}
+
+
+def apply_binary(op: str, left: int, right: int) -> int:
+    """Apply a binary ALU op to unsigned operands (result unmasked)."""
+    try:
+        fn = BINARY_OPS[op]
+    except KeyError:
+        raise AluError(f"unknown binary op {op!r}") from None
+    return fn(int(left), int(right))
+
+
+def apply_unary(op: str, operand: int) -> int:
+    """Apply a unary ALU op (result unmasked)."""
+    try:
+        fn = UNARY_OPS[op]
+    except KeyError:
+        raise AluError(f"unknown unary op {op!r}") from None
+    return fn(int(operand))

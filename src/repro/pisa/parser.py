@@ -1,0 +1,274 @@
+"""Programmable packet parser and deparser (Figure 2's end caps).
+
+A PISA switch fronts its pipeline with a programmable parser — a state
+machine that walks the packet's bytes, extracts headers into the PHV,
+and branches on select fields — and mirrors it with a deparser that
+re-serializes the (possibly modified) headers.
+
+The application harnesses in this repository mostly synthesize packets
+with pre-parsed fields; this module closes the loop for end-to-end byte
+traffic: :class:`PacketParser` turns raw bytes into a
+:class:`~repro.pisa.packet.Packet` with named fields, and
+:class:`Deparser` re-emits bytes after pipeline processing. A ready-made
+Ethernet/IPv4/transport parse graph is provided.
+
+Example::
+
+    parser = PacketParser.ethernet_ipv4()
+    packet = parser.parse(raw_bytes)
+    result = pipeline.process(packet)
+    out = Deparser(parser).emit(packet, overrides=result.phv)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import Packet
+
+__all__ = [
+    "ParseError",
+    "FieldSpec",
+    "ParseState",
+    "PacketParser",
+    "Deparser",
+]
+
+
+class ParseError(Exception):
+    """Truncated packet or no matching transition."""
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One fixed-width field within a header (bit-granular)."""
+
+    name: str
+    bits: int
+
+
+@dataclass
+class ParseState:
+    """A parser state: extract a header, then select the next state.
+
+    ``select`` maps values of ``select_field`` (a field extracted by this
+    or an earlier state) to next-state names; ``default`` handles
+    unmatched values (``None`` = accept).
+    """
+
+    name: str
+    header: str
+    fields: list[FieldSpec]
+    select_field: str | None = None
+    select: dict[int, str] = field(default_factory=dict)
+    default: str | None = None
+
+    @property
+    def header_bits(self) -> int:
+        return sum(f.bits for f in self.fields)
+
+
+class _BitReader:
+    """MSB-first bit cursor over bytes."""
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.bitpos = 0
+
+    def read(self, bits: int) -> int:
+        end = self.bitpos + bits
+        if end > len(self.data) * 8:
+            raise ParseError(
+                f"packet truncated: need {end} bits, have {len(self.data) * 8}"
+            )
+        value = 0
+        pos = self.bitpos
+        while bits > 0:
+            byte = self.data[pos // 8]
+            offset = pos % 8
+            take = min(8 - offset, bits)
+            chunk = (byte >> (8 - offset - take)) & ((1 << take) - 1)
+            value = (value << take) | chunk
+            pos += take
+            bits -= take
+        self.bitpos = pos
+        return value
+
+    @property
+    def consumed_bytes(self) -> int:
+        return (self.bitpos + 7) // 8
+
+
+class PacketParser:
+    """A parse graph: named states, starting at ``start``."""
+
+    def __init__(self, states: list[ParseState], start: str):
+        self.states = {s.name: s for s in states}
+        if start not in self.states:
+            raise ParseError(f"unknown start state {start!r}")
+        self.start = start
+        for state in states:
+            for nxt in list(state.select.values()) + (
+                [state.default] if state.default else []
+            ):
+                if nxt is not None and nxt not in self.states:
+                    raise ParseError(
+                        f"state {state.name!r} references unknown state {nxt!r}"
+                    )
+
+    def parse(self, data: bytes, max_states: int = 32) -> Packet:
+        """Walk the parse graph over ``data``; returns a field packet.
+
+        Extracted fields are named ``<header>.<field>``; the payload
+        length (unparsed remainder) lands in ``payload_len``.
+        """
+        reader = _BitReader(data)
+        fields: dict[str, int] = {}
+        state_name: str | None = self.start
+        visited = 0
+        while state_name is not None:
+            visited += 1
+            if visited > max_states:
+                raise ParseError("parse graph did not terminate (loop?)")
+            state = self.states[state_name]
+            for spec in state.fields:
+                fields[f"{state.header}.{spec.name}"] = reader.read(spec.bits)
+            if state.select_field is None:
+                state_name = state.default
+                continue
+            key = fields.get(state.select_field)
+            if key is None:
+                raise ParseError(
+                    f"state {state.name!r} selects on unextracted field "
+                    f"{state.select_field!r}"
+                )
+            state_name = state.select.get(key, state.default)
+        fields["payload_len"] = max(len(data) - reader.consumed_bytes, 0)
+        return Packet(fields=fields, length=len(data))
+
+    # -- stock parse graphs ---------------------------------------------------
+    @classmethod
+    def ethernet_ipv4(cls) -> "PacketParser":
+        """Ethernet → IPv4 → {TCP, UDP} parse graph."""
+        ethernet = ParseState(
+            name="ethernet",
+            header="eth",
+            fields=[
+                FieldSpec("dst", 48),
+                FieldSpec("src", 48),
+                FieldSpec("ethertype", 16),
+            ],
+            select_field="eth.ethertype",
+            select={0x0800: "ipv4"},
+            default=None,
+        )
+        ipv4 = ParseState(
+            name="ipv4",
+            header="ipv4",
+            fields=[
+                FieldSpec("version", 4),
+                FieldSpec("ihl", 4),
+                FieldSpec("tos", 8),
+                FieldSpec("total_len", 16),
+                FieldSpec("identification", 16),
+                FieldSpec("flags", 3),
+                FieldSpec("frag_offset", 13),
+                FieldSpec("ttl", 8),
+                FieldSpec("protocol", 8),
+                FieldSpec("checksum", 16),
+                FieldSpec("src", 32),
+                FieldSpec("dst", 32),
+            ],
+            select_field="ipv4.protocol",
+            select={6: "tcp", 17: "udp"},
+            default=None,
+        )
+        tcp = ParseState(
+            name="tcp",
+            header="tcp",
+            fields=[
+                FieldSpec("sport", 16),
+                FieldSpec("dport", 16),
+                FieldSpec("seq", 32),
+                FieldSpec("ack", 32),
+                FieldSpec("offset_flags", 16),
+                FieldSpec("window", 16),
+                FieldSpec("checksum", 16),
+                FieldSpec("urgent", 16),
+            ],
+        )
+        udp = ParseState(
+            name="udp",
+            header="udp",
+            fields=[
+                FieldSpec("sport", 16),
+                FieldSpec("dport", 16),
+                FieldSpec("length", 16),
+                FieldSpec("checksum", 16),
+            ],
+        )
+        return cls([ethernet, ipv4, tcp, udp], start="ethernet")
+
+
+class _BitWriter:
+    def __init__(self):
+        self.bits: list[int] = []
+
+    def write(self, value: int, bits: int) -> None:
+        for i in range(bits - 1, -1, -1):
+            self.bits.append((value >> i) & 1)
+
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        for i in range(0, len(self.bits), 8):
+            chunk = self.bits[i:i + 8]
+            chunk += [0] * (8 - len(chunk))
+            byte = 0
+            for bit in chunk:
+                byte = (byte << 1) | bit
+            out.append(byte)
+        return bytes(out)
+
+
+class Deparser:
+    """Re-serialize a parsed packet along the same parse path."""
+
+    def __init__(self, parser: PacketParser):
+        self.parser = parser
+
+    def emit(self, packet: Packet, overrides: dict[str, int] | None = None,
+             payload: bytes = b"") -> bytes:
+        """Emit header bytes for ``packet`` (+ optional field overrides
+        from pipeline output and a payload)."""
+        merged = dict(packet.fields)
+        for key, value in (overrides or {}).items():
+            # Pipeline PHV keys may be prefixed ("hdr.ipv4.ttl"); accept
+            # both forms.
+            if key.startswith("hdr."):
+                key = key[len("hdr."):]
+            if key in merged:
+                merged[key] = value
+        writer = _BitWriter()
+        state_name: str | None = self.parser.start
+        visited = 0
+        while state_name is not None:
+            visited += 1
+            if visited > 64:
+                raise ParseError("deparse loop")
+            state = self.parser.states[state_name]
+            if not all(
+                f"{state.header}.{spec.name}" in merged for spec in state.fields
+            ):
+                break  # this header was never parsed for this packet
+            for spec in state.fields:
+                writer.write(
+                    int(merged[f"{state.header}.{spec.name}"]) & ((1 << spec.bits) - 1),
+                    spec.bits,
+                )
+            if state.select_field is None:
+                state_name = state.default
+                continue
+            state_name = state.select.get(
+                int(merged.get(state.select_field, -1)), state.default
+            )
+        return writer.to_bytes() + payload

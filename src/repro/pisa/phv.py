@@ -1,0 +1,114 @@
+"""Packet Header Vector (PHV) model.
+
+The PHV carries parsed header fields and per-packet metadata through the
+pipeline (§2). Fields are fixed-width unsigned integers with wraparound
+semantics; total allocated width is bounded by the target's ``P``.
+
+Two layers:
+
+* :class:`PhvLayout` — the static allocation (field name → width), built
+  once per compiled program; enforces the P budget.
+* :class:`Phv` — a per-packet instance holding current values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PhvLayout", "Phv", "PhvError"]
+
+
+class PhvError(Exception):
+    """Allocation overflow or access to an undeclared field."""
+
+
+@dataclass(frozen=True)
+class _Slot:
+    name: str
+    width: int
+    offset: int
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.width) - 1
+
+
+class PhvLayout:
+    """Static PHV field allocation with a total-bits budget."""
+
+    def __init__(self, capacity_bits: int):
+        if capacity_bits <= 0:
+            raise PhvError("PHV capacity must be positive")
+        self.capacity_bits = capacity_bits
+        self._slots: dict[str, _Slot] = {}
+        self._used = 0
+
+    def allocate(self, name: str, width: int) -> None:
+        """Reserve ``width`` bits for field ``name``."""
+        if width <= 0:
+            raise PhvError(f"field {name!r}: width must be positive, got {width}")
+        if name in self._slots:
+            raise PhvError(f"field {name!r} allocated twice")
+        if self._used + width > self.capacity_bits:
+            raise PhvError(
+                f"PHV overflow allocating {name!r} ({width} b): "
+                f"{self._used}/{self.capacity_bits} bits already in use"
+            )
+        self._slots[name] = _Slot(name, width, self._used)
+        self._used += width
+
+    def width(self, name: str) -> int:
+        return self._slot(name).width
+
+    def _slot(self, name: str) -> _Slot:
+        try:
+            return self._slots[name]
+        except KeyError:
+            raise PhvError(f"PHV field {name!r} was never allocated") from None
+
+    @property
+    def used_bits(self) -> int:
+        return self._used
+
+    @property
+    def fields(self) -> list[str]:
+        return list(self._slots)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._slots
+
+    def instantiate(self) -> "Phv":
+        return Phv(self)
+
+
+class Phv:
+    """A per-packet PHV instance: field values under a layout."""
+
+    __slots__ = ("layout", "_values")
+
+    def __init__(self, layout: PhvLayout):
+        self.layout = layout
+        self._values: dict[str, int] = {}
+
+    def get(self, name: str) -> int:
+        """Current value of a field (unset fields read as 0, as on hardware)."""
+        self.layout._slot(name)  # validates existence
+        return self._values.get(name, 0)
+
+    def set(self, name: str, value: int) -> None:
+        """Write a field, wrapping to its width."""
+        slot = self.layout._slot(name)
+        self._values[name] = int(value) & slot.mask
+
+    def snapshot(self) -> dict[str, int]:
+        """Copy of all set fields (for stage-entry snapshots)."""
+        return dict(self._values)
+
+    def load(self, values: dict[str, int]) -> None:
+        """Bulk-set fields (each masked to width)."""
+        for name, value in values.items():
+            self.set(name, value)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in sorted(self._values.items()))
+        return f"Phv({inner})"

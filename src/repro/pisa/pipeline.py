@@ -1,0 +1,270 @@
+"""The staged PISA pipeline simulator.
+
+This is the reproduction's stand-in for the Barefoot Tofino (see
+DESIGN.md §2): it loads a :class:`~repro.core.program.CompiledProgram`
+— the stage mapping, register allocation, and symbolic assignment the
+P4All compiler produced — validates it against the target's resource
+model, and executes packets through it with faithful feed-forward
+semantics:
+
+* each stage's units read the stage-entry PHV snapshot and commit their
+  writes at stage exit;
+* registers live in exactly one stage and are only touched there;
+* per-stage ALU, memory, hash-unit, and PHV budgets are re-checked at
+  load time (defense in depth over the ILP's constraints).
+
+Applications drive it through :meth:`Pipeline.process` and the
+control-plane helpers (:meth:`table_add`, :meth:`register_dump`, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..lang.symbols import eval_static
+from .hashing import hash_family
+from .interp import ExecContext, SimulationError, eval_expr, exec_unit_body
+from .packet import Packet
+from .phv import PhvLayout
+from .registers import RegisterFile
+from .resources import TargetSpec
+from .tables import MatchActionTable, TableEntry
+
+__all__ = ["Pipeline", "PipelineResult", "ValidationError"]
+
+
+class ValidationError(Exception):
+    """The compiled layout violates the target's resource model."""
+
+
+@dataclass
+class PipelineResult:
+    """Per-packet outcome: final PHV values and table hit flags."""
+
+    phv: dict[str, int]
+    table_hits: dict[str, bool] = field(default_factory=dict)
+
+    def get(self, key: str, default: int = 0) -> int:
+        return self.phv.get(key, default)
+
+    def hit(self, table: str) -> bool:
+        return self.table_hits.get(table, False)
+
+
+class Pipeline:
+    """Executable pipeline built from a compiled program."""
+
+    def __init__(self, compiled, hash_kind: str = "multiply-shift",
+                 validate: bool = True, meta_prefix: str = "meta"):
+        self.compiled = compiled
+        self.target: TargetSpec = compiled.target
+        self.info = compiled.info
+        self.meta_prefix = meta_prefix
+        self._hash_factory = hash_family(hash_kind)
+        self._hash_fns: dict[int, object] = {}
+        self._static_env = dict(self.info.consts)
+        self._static_env.update(compiled.symbol_values)
+
+        self.phv_layout = self._build_phv_layout()
+        self.registers = self._build_registers()
+        self.tables = self._build_tables()
+        self._stage_units = self._organize_units()
+        self.packets_processed = 0
+        if validate:
+            self.validate()
+
+    # -- construction ---------------------------------------------------------
+    def _build_phv_layout(self) -> PhvLayout:
+        layout = PhvLayout(self.target.phv_bits)
+        for fd in self.info.metadata.values():
+            base = f"{self.meta_prefix}.{fd.name}"
+            if fd.array_size is None:
+                layout.allocate(base, fd.width)
+                continue
+            count = int(eval_static(fd.array_size, self._static_env))
+            for i in range(count):
+                layout.allocate(f"{base}[{i}]", fd.width)
+        for name, width in self.info.header_fields.items():
+            layout.allocate(f"hdr.{name}", width)
+        return layout
+
+    def _build_registers(self) -> RegisterFile:
+        regs = RegisterFile()
+        for alloc in self.compiled.registers:
+            regs.create(
+                name=f"{alloc.family}[{alloc.index}]",
+                cells=alloc.cells,
+                width=alloc.width,
+                stage=alloc.stage,
+            )
+        return regs
+
+    def _build_tables(self) -> dict[str, MatchActionTable]:
+        from ..analysis.ir import field_key
+
+        tables: dict[str, MatchActionTable] = {}
+        for name, decl in self.info.tables.items():
+            keys = [field_key(k.expr, self.info.consts) for k in decl.keys]
+            kinds = [k.match_kind for k in decl.keys]
+            size = 1024
+            if decl.size is not None:
+                size = int(eval_static(decl.size, self._static_env))
+            tables[name] = MatchActionTable(
+                name=name,
+                key_fields=keys,
+                match_kinds=kinds,
+                size=size,
+                default_action=decl.default_action,
+            )
+        return tables
+
+    def _organize_units(self) -> list[list]:
+        stages: list[list] = [[] for _ in range(self.target.stages)]
+        for unit in self.compiled.units:
+            stages[unit.stage].append(unit)
+        return stages
+
+    # -- validation -------------------------------------------------------------
+    def validate(self) -> None:
+        """Re-check every per-stage resource budget against the layout."""
+        target = self.target
+        if self.phv_layout.used_bits > target.phv_bits:  # pragma: no cover
+            raise ValidationError("PHV allocation exceeds capacity")
+        from ..core.tablemem import table_memory_bits
+
+        for stage in range(target.stages):
+            mem = self.registers.memory_bits_in_stage(stage)
+            for unit in self._stage_units[stage]:
+                if unit.instance.table is not None:
+                    mem += table_memory_bits(
+                        self.info.tables[unit.instance.table], self.info
+                    )
+            if mem > target.memory_bits_per_stage:
+                raise ValidationError(
+                    f"stage {stage}: {mem} register bits exceed "
+                    f"{target.memory_bits_per_stage}"
+                )
+            stateful = stateless = hashes = 0
+            for unit in self._stage_units[stage]:
+                cost = unit.instance.cost
+                stateful += target.hf(cost)
+                stateless += target.hl(cost)
+                hashes += cost.hash_ops
+            if stateful > target.stateful_alus_per_stage:
+                raise ValidationError(
+                    f"stage {stage}: {stateful} stateful ALUs exceed "
+                    f"{target.stateful_alus_per_stage}"
+                )
+            if stateless > target.stateless_alus_per_stage:
+                raise ValidationError(
+                    f"stage {stage}: {stateless} stateless ALUs exceed "
+                    f"{target.stateless_alus_per_stage}"
+                )
+            if hashes > target.hash_units_per_stage:
+                raise ValidationError(
+                    f"stage {stage}: {hashes} hash ops exceed "
+                    f"{target.hash_units_per_stage} hash units"
+                )
+        # Registers must be accessed only from their own stage.
+        for unit in self.compiled.units:
+            for fam, idx in unit.instance.registers:
+                reg_stage = self.registers.stage_of(f"{fam}[{idx}]")
+                if reg_stage != unit.stage:
+                    raise ValidationError(
+                        f"unit {unit.label} in stage {unit.stage} touches register "
+                        f"{fam}[{idx}] living in stage {reg_stage}"
+                    )
+
+    # -- control plane -------------------------------------------------------------
+    def table_add(self, table: str, match: tuple, action: str,
+                  action_data: tuple = (), priority: int = 0) -> None:
+        """Install a match-action rule (control-plane operation)."""
+        self.tables[table].add_entry(
+            TableEntry(match=match, action=action,
+                       action_data=action_data, priority=priority)
+        )
+
+    def table_remove(self, table: str, match: tuple) -> bool:
+        return self.tables[table].remove_entry(match)
+
+    def table_clear(self, table: str) -> None:
+        self.tables[table].clear()
+
+    def register_dump(self, family: str, index: int = 0):
+        """Read a whole register array (control-plane snapshot)."""
+        return self.registers.get(f"{family}[{index}]").dump()
+
+    def register_clear_all(self) -> None:
+        self.registers.clear_all()
+
+    def hash_value(self, seed: int, *values: int, width: int) -> int:
+        """Compute the same hash the data plane uses (for controllers that
+        must install state at the index a packet will probe)."""
+        fn = self._hash_fns.get(seed)
+        if fn is None:
+            fn = self._hash_factory(seed)
+            self._hash_fns[seed] = fn
+        return fn(*values, width=width)
+
+    # -- data plane -------------------------------------------------------------
+    def _load_packet(self, packet: Packet) -> dict[str, int]:
+        values: dict[str, int] = {}
+        for name, value in packet.fields.items():
+            meta_key = f"{self.meta_prefix}.{name}"
+            hdr_key = f"hdr.{name}"
+            if meta_key in self.phv_layout:
+                values[meta_key] = int(value)
+            elif hdr_key in self.phv_layout:
+                values[hdr_key] = int(value)
+            else:
+                raise SimulationError(
+                    f"packet field {name!r} matches no metadata or header field"
+                )
+        return values
+
+    def process(self, packet: Packet) -> PipelineResult:
+        """Run one packet through all stages; returns the final PHV."""
+        phv = self.phv_layout.instantiate()
+        phv.load(self._load_packet(packet))
+        table_hits: dict[str, bool] = {}
+
+        for stage in range(self.target.stages):
+            units = self._stage_units[stage]
+            if not units:
+                continue
+            snapshot = phv.snapshot()
+            commits: dict[str, tuple[int, str]] = {}
+            for unit in units:
+                ctx = ExecContext(
+                    snapshot=snapshot,
+                    registers=self.registers,
+                    tables=self.tables,
+                    hash_fns=self._hash_fns,
+                    hash_factory=self._hash_factory,
+                    actions=self.info.actions,
+                    consts=self.info.consts,
+                )
+                ran = exec_unit_body(
+                    unit.instance.body, unit.instance.guard,
+                    unit.instance.table, ctx,
+                )
+                table_hits.update(ctx.table_hits)
+                if not ran:
+                    continue
+                for key, value in ctx.local_writes.items():
+                    prior = commits.get(key)
+                    if prior is not None and prior[0] != value:
+                        raise SimulationError(
+                            f"stage {stage}: units {prior[1]!r} and "
+                            f"{unit.label!r} write different values to {key!r}"
+                        )
+                    commits[key] = (value, unit.label)
+            for key, (value, _who) in commits.items():
+                phv.set(key, value)
+        self.packets_processed += 1
+        return PipelineResult(phv=phv.snapshot(), table_hits=table_hits)
+
+    def process_many(self, packets) -> list[PipelineResult]:
+        """Run a packet sequence; returns per-packet results."""
+        return [self.process(p) for p in packets]

@@ -1,0 +1,187 @@
+"""PISA target resource model (the paper's Figure 3).
+
+A :class:`TargetSpec` captures what the P4All compiler needs to know about
+a hardware target:
+
+========  ===================================================
+Symbol    Meaning
+========  ===================================================
+``S``     number of pipeline stages
+``M``     register memory per stage, in bits
+``F``     stateful ALUs per stage
+``L``     stateless ALUs per stage
+``P``     packet header vector (PHV) size, in bits
+========  ===================================================
+
+plus the per-action ALU cost functions ``H_f`` and ``H_l`` (§4.3), which
+here are computed from an :class:`ActionCost` summary (how many register
+operations, plain PHV operations, and hash computations an action
+performs) weighted by target-specific factors.
+
+The Barefoot Tofino is proprietary; :func:`tofino` reproduces the
+parameters the paper states it used in §4.2/§6.2, and the paper itself
+notes its specification "inevitably omits some target-specific
+constraints". Additional toy targets support unit tests and the Figure-9
+worked example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "ActionCost",
+    "TargetSpec",
+    "tofino",
+    "toy_three_stage",
+    "small_target",
+    "TARGETS",
+    "get_target",
+]
+
+MEGABIT = 1 << 20
+
+
+@dataclass(frozen=True)
+class ActionCost:
+    """Resource demand summary of one atomic action.
+
+    ``stateful_ops`` counts register accesses (each needs a stateful ALU);
+    ``stateless_ops`` counts PHV arithmetic/assignment operations;
+    ``hash_ops`` counts hash computations (consume hash units, and on most
+    targets also a stateless ALU to deposit the result).
+    """
+
+    stateful_ops: int = 0
+    stateless_ops: int = 0
+    hash_ops: int = 0
+
+    def __add__(self, other: "ActionCost") -> "ActionCost":
+        return ActionCost(
+            self.stateful_ops + other.stateful_ops,
+            self.stateless_ops + other.stateless_ops,
+            self.hash_ops + other.hash_ops,
+        )
+
+
+@dataclass(frozen=True)
+class TargetSpec:
+    """Resources and ALU cost model of one PISA target."""
+
+    name: str
+    stages: int                      # S
+    memory_bits_per_stage: int       # M
+    stateful_alus_per_stage: int     # F
+    stateless_alus_per_stage: int    # L
+    phv_bits: int                    # P
+    hash_units_per_stage: int = 8
+    # H_f / H_l weights: ALUs consumed per counted op of each kind.
+    stateful_weight: int = 1
+    stateless_weight: int = 1
+    hash_weight: int = 1
+    notes: str = ""
+
+    def __post_init__(self):
+        for attr in (
+            "stages",
+            "memory_bits_per_stage",
+            "stateful_alus_per_stage",
+            "stateless_alus_per_stage",
+            "phv_bits",
+        ):
+            if getattr(self, attr) <= 0:
+                raise ValueError(f"target {self.name!r}: {attr} must be positive")
+
+    # -- the paper's H_f / H_l functions ------------------------------------
+    def hf(self, cost: ActionCost) -> int:
+        """Stateful ALUs needed to implement an action with ``cost``."""
+        return self.stateful_weight * cost.stateful_ops
+
+    def hl(self, cost: ActionCost) -> int:
+        """Stateless ALUs needed to implement an action with ``cost``."""
+        return self.stateless_weight * cost.stateless_ops + self.hash_weight * cost.hash_ops
+
+    # -- aggregates used by the unrolling bound (§4.2) -----------------------
+    @property
+    def total_alus(self) -> int:
+        """(F + L) · S — the whole-pipeline ALU budget."""
+        return (
+            self.stateful_alus_per_stage + self.stateless_alus_per_stage
+        ) * self.stages
+
+    @property
+    def total_memory_bits(self) -> int:
+        return self.memory_bits_per_stage * self.stages
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        mbits = self.memory_bits_per_stage / MEGABIT
+        return (
+            f"target {self.name}: S={self.stages} stages, "
+            f"M={mbits:.3g} Mb/stage, F={self.stateful_alus_per_stage}, "
+            f"L={self.stateless_alus_per_stage}, P={self.phv_bits} bits PHV, "
+            f"{self.hash_units_per_stage} hash units/stage"
+        )
+
+
+def tofino(memory_bits_per_stage: int = int(1.75 * MEGABIT), stages: int = 10) -> TargetSpec:
+    """Tofino-like specification with the parameters from §6.2.
+
+    The elasticity experiments use S = 10, F = 4, L = 100, P = 4096 and
+    sweep M; the utility-function experiment fixes M = 1.75 Mb per stage.
+    """
+    return TargetSpec(
+        name="tofino",
+        stages=stages,
+        memory_bits_per_stage=memory_bits_per_stage,
+        stateful_alus_per_stage=4,
+        stateless_alus_per_stage=100,
+        phv_bits=4096,
+        hash_units_per_stage=8,
+        notes="Parameters from the paper's §6.2 evaluation setup.",
+    )
+
+
+def toy_three_stage() -> TargetSpec:
+    """The worked example of §4.2/Figure 9: S=3, M=2048 b, F=L=2, P=4096."""
+    return TargetSpec(
+        name="toy3",
+        stages=3,
+        memory_bits_per_stage=2048,
+        stateful_alus_per_stage=2,
+        stateless_alus_per_stage=2,
+        phv_bits=4096,
+        hash_units_per_stage=2,
+        notes="Running example used to illustrate loop unrolling (Fig. 9).",
+    )
+
+
+def small_target(stages: int = 4, memory_kb: int = 16) -> TargetSpec:
+    """A small target for tests: a few stages, kilobit-scale memory."""
+    return TargetSpec(
+        name=f"small{stages}",
+        stages=stages,
+        memory_bits_per_stage=memory_kb * 1024,
+        stateful_alus_per_stage=2,
+        stateless_alus_per_stage=8,
+        phv_bits=1024,
+        hash_units_per_stage=4,
+    )
+
+
+TARGETS = {
+    "tofino": tofino,
+    "toy3": toy_three_stage,
+    "small": small_target,
+}
+
+
+def get_target(name: str, **kwargs) -> TargetSpec:
+    """Look up a predefined target by name (``tofino``, ``toy3``, ``small``)."""
+    try:
+        factory = TARGETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown target {name!r}; available: {sorted(TARGETS)}"
+        ) from None
+    return factory(**kwargs)

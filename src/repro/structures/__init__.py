@@ -1,0 +1,72 @@
+"""Reusable elastic data-structure library (the paper's Figure 1).
+
+Each structure ships in two forms:
+
+* a fast Python **reference implementation** (used for workload-scale
+  experiments and to cross-validate the PISA simulator), and
+* an elastic **P4All module** — prefixed source fragments composable into
+  applications via :func:`compose`, plus a standalone ``*_SOURCE``
+  program under ``p4all_src/``.
+
+Catalogue (module → papers that use it, per Figure 1):
+
+=====================  =====================================================
+count-min sketch       NetCache, SketchLearn, ConQuest, UnivMon, ...
+key-value store        NetCache, NetChain, Precision, HashPipe, ...
+Bloom filter           NetCache, FlowRadar, SilkRoad, ...
+counting hash table    Precision, HashPipe, FlowRadar, ...
+hierarchical sketch    SketchLearn
+ID-indexed table       Blink
+=====================  =====================================================
+"""
+
+from .bloom import BLOOM_SOURCE, BloomFilter, bloom_module
+from .cms import CMS_SOURCE, CountMinSketch, cms_module
+from .hashtable import HASHTABLE_SOURCE, CountingHashTable, hashtable_module
+from .hierarchical import (
+    SKETCHLEARN_SOURCE,
+    HierarchicalSketch,
+    hierarchical_module,
+)
+from .idtable import IDTABLE_SOURCE, IdIndexedTable, idtable_module
+from .kvstore import KV_SOURCE, KeyValueStore, kv_module
+from .matrix import MATRIX_SOURCE, HashMatrix, matrix_module
+from .module import P4AllModule, compose
+
+__all__ = [
+    "BLOOM_SOURCE",
+    "BloomFilter",
+    "bloom_module",
+    "CMS_SOURCE",
+    "CountMinSketch",
+    "cms_module",
+    "HASHTABLE_SOURCE",
+    "CountingHashTable",
+    "hashtable_module",
+    "SKETCHLEARN_SOURCE",
+    "HierarchicalSketch",
+    "hierarchical_module",
+    "IDTABLE_SOURCE",
+    "IdIndexedTable",
+    "idtable_module",
+    "KV_SOURCE",
+    "KeyValueStore",
+    "kv_module",
+    "MATRIX_SOURCE",
+    "HashMatrix",
+    "matrix_module",
+    "P4AllModule",
+    "compose",
+    "LIBRARY_SOURCES",
+]
+
+#: name → standalone program text for every library structure.
+LIBRARY_SOURCES = {
+    "cms": CMS_SOURCE,
+    "bloom": BLOOM_SOURCE,
+    "kvstore": KV_SOURCE,
+    "hashtable": HASHTABLE_SOURCE,
+    "hierarchical": SKETCHLEARN_SOURCE,
+    "matrix": MATRIX_SOURCE,
+    "idtable": IDTABLE_SOURCE,
+}

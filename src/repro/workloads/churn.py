@@ -1,0 +1,78 @@
+"""Workloads with hot-set churn.
+
+NetCache's headline challenge is *dynamic* workloads: the popular key
+set drifts over time and the switch cache must follow it (the sketch
+re-identifies the new hot keys, the controller replaces the stale ones).
+:class:`ChurningZipf` produces a Zipf stream whose rank→key mapping is
+partially reshuffled every ``phase_packets`` requests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .zipf import ZipfGenerator
+
+__all__ = ["ChurningZipf"]
+
+
+class ChurningZipf:
+    """Zipf keys with periodic hot-set rotation.
+
+    Every ``phase_packets`` samples, a fraction ``churn`` of the top
+    ranks swaps with keys drawn from the cold tail, modeling flash
+    popularity changes. Sampling stays deterministic under ``seed``.
+    """
+
+    def __init__(
+        self,
+        universe: int,
+        alpha: float = 0.99,
+        phase_packets: int = 10_000,
+        churn: float = 0.3,
+        hot_ranks: int = 1_000,
+        seed: int = 42,
+    ):
+        if not 0.0 <= churn <= 1.0:
+            raise ValueError("churn must be within [0, 1]")
+        self.generator = ZipfGenerator(universe, alpha=alpha, seed=seed)
+        self.phase_packets = phase_packets
+        self.churn = churn
+        self.hot_ranks = min(hot_ranks, universe)
+        self._rng = np.random.default_rng(seed ^ 0xC0FFEE)
+        self._since_rotation = 0
+        self.rotations = 0
+
+    def _rotate(self) -> None:
+        """Swap a churn-fraction of hot ranks with random cold keys."""
+        self.rotations += 1
+        mapping = self.generator._rank_to_key
+        n_swap = int(self.hot_ranks * self.churn)
+        if n_swap == 0 or len(mapping) <= self.hot_ranks:
+            return  # rotation is a no-op (zero churn or no cold tail)
+        hot_idx = self._rng.choice(self.hot_ranks, size=n_swap, replace=False)
+        cold_idx = self._rng.choice(
+            np.arange(self.hot_ranks, len(mapping)), size=n_swap, replace=False
+        )
+        mapping[hot_idx], mapping[cold_idx] = (
+            mapping[cold_idx].copy(),
+            mapping[hot_idx].copy(),
+        )
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` keys, rotating the hot set on phase boundaries."""
+        out = []
+        remaining = count
+        while remaining > 0:
+            take = min(remaining, self.phase_packets - self._since_rotation)
+            out.append(self.generator.sample(take))
+            self._since_rotation += take
+            remaining -= take
+            if self._since_rotation >= self.phase_packets:
+                self._rotate()
+                self._since_rotation = 0
+        return np.concatenate(out)
+
+    def hottest(self, n: int) -> np.ndarray:
+        """The *current* hottest keys (changes across rotations)."""
+        return self.generator.hottest(n)

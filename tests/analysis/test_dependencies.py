@@ -1,0 +1,152 @@
+"""Pair classification and graph construction from instances."""
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    build_dependency_graph,
+    build_ir,
+    classify_pair,
+    instantiate,
+)
+from repro.lang import check_program, parse_program
+
+
+def instances_of(source: str, counts=None):
+    ir = build_ir(check_program(parse_program(source)), "Ingress")
+    return instantiate(ir, counts or {})
+
+
+class TestClassifyPair:
+    def _pair(self, source, counts=None):
+        insts = instances_of(source, counts)
+        assert len(insts) >= 2
+        return insts[0], insts[1]
+
+    def test_raw_is_precedence(self):
+        a, b = self._pair(
+            """
+            struct metadata { bit<32> x; bit<32> y; bit<32> z; }
+            control Ingress(inout metadata meta) {
+                apply { meta.x = meta.z; meta.y = meta.x; }
+            }
+            """
+        )
+        assert classify_pair(a, b) == "precedence"
+
+    def test_war_is_precedence(self):
+        a, b = self._pair(
+            """
+            struct metadata { bit<32> x; bit<32> y; bit<32> z; }
+            control Ingress(inout metadata meta) {
+                apply { meta.y = meta.x; meta.x = meta.z; }
+            }
+            """
+        )
+        assert classify_pair(a, b) == "precedence"
+
+    def test_plain_waw_is_precedence(self):
+        a, b = self._pair(
+            """
+            struct metadata { bit<32> x; bit<32> a; bit<32> b; }
+            control Ingress(inout metadata meta) {
+                apply { meta.x = meta.a; meta.x = meta.b; }
+            }
+            """
+        )
+        assert classify_pair(a, b) == "precedence"
+
+    def test_commutative_adds_are_exclusion(self):
+        a, b = self._pair(
+            """
+            struct metadata { bit<32> acc; bit<32> u; bit<32> v; }
+            control Ingress(inout metadata meta) {
+                apply { meta.acc = meta.acc + meta.u; meta.acc = meta.acc + meta.v; }
+            }
+            """
+        )
+        assert classify_pair(a, b) == "exclusion"
+
+    def test_mixed_update_kinds_are_precedence(self):
+        a, b = self._pair(
+            """
+            struct metadata { bit<32> acc; bit<32> u; }
+            control Ingress(inout metadata meta) {
+                apply { meta.acc = meta.acc + meta.u; meta.acc = min(meta.acc, meta.u); }
+            }
+            """
+        )
+        assert classify_pair(a, b) == "precedence"
+
+    def test_independent_is_none(self):
+        a, b = self._pair(
+            """
+            struct metadata { bit<32> a; bit<32> b; bit<32> c; bit<32> d; }
+            control Ingress(inout metadata meta) {
+                apply { meta.a = meta.c; meta.b = meta.d; }
+            }
+            """
+        )
+        assert classify_pair(a, b) is None
+
+
+class TestGraphConstruction:
+    SHARED_REGISTER = """
+    struct metadata { bit<32> k; bit<32> a; bit<32> b; }
+    register<bit<32>>[64] shared;
+    action first() { shared.add(meta.k, 1); }
+    action second() { shared.add(meta.a, 1); }
+    control Ingress(inout metadata meta) {
+        apply { first(); second(); }
+    }
+    """
+
+    def test_same_register_merges_nodes(self):
+        graph = build_dependency_graph(instances_of(self.SHARED_REGISTER))
+        assert graph.num_nodes == 1
+        assert len(graph.nodes[0].instances) == 2
+
+    def test_intra_node_ordering_conflict_raises(self):
+        source = """
+        struct metadata { bit<32> k; bit<32> a; }
+        register<bit<32>>[64] shared;
+        action first() { shared.read(meta.a, meta.k); }
+        action second() { shared.write(meta.k, meta.a); }
+        control Ingress(inout metadata meta) {
+            apply { first(); second(); }
+        }
+        """
+        # second reads meta.a written by first, yet both must share a
+        # stage (common register) — contradiction.
+        with pytest.raises(AnalysisError, match="ordering dependency"):
+            build_dependency_graph(instances_of(source))
+
+    def test_exclusion_as_precedence_mode(self):
+        source = """
+        symbolic int n;
+        struct metadata { bit<32> acc; bit<32>[n] v; }
+        action fold()[int i] { meta.acc = meta.acc + meta.v[i]; }
+        control Ingress(inout metadata meta) {
+            apply { for (i < n) { fold()[i]; } }
+        }
+        """
+        insts = instances_of(source, {"n": 3})
+        full = build_dependency_graph(insts)
+        assert len(full.exclusion_edges()) == 3
+        assert len(full.precedence_edges()) == 0
+        degraded = build_dependency_graph(insts, exclusion_as_precedence=True)
+        assert len(degraded.exclusion_edges()) == 0
+        assert len(degraded.precedence_edges()) == 3
+
+    def test_guard_read_creates_control_dependency(self):
+        source = """
+        struct metadata { bit<32> a; bit<32> b; bit<32> c; }
+        control Ingress(inout metadata meta) {
+            apply {
+                meta.a = meta.c;
+                if (meta.a == 1) { meta.b = 2; }
+            }
+        }
+        """
+        graph = build_dependency_graph(instances_of(source))
+        assert len(graph.precedence_edges()) == 1

@@ -1,0 +1,151 @@
+"""Dependency-graph structure and longest-simple-path tests."""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.depgraph import DependencyGraph
+from repro.analysis.ir import ActionInstance
+
+
+def make_instance(uid: int, name: str) -> ActionInstance:
+    return ActionInstance(uid=uid, name=name, body=[], source_order=uid)
+
+
+def build_graph(num_nodes: int, precedence=(), exclusion=(), names=None):
+    g = DependencyGraph()
+    nodes = []
+    for i in range(num_nodes):
+        name = names[i] if names else f"n{i}"
+        nodes.append(g.add_node([make_instance(i, name)]))
+    for a, b in precedence:
+        g.add_precedence(nodes[a], nodes[b])
+    for a, b in exclusion:
+        g.add_exclusion(nodes[a], nodes[b])
+    return g, nodes
+
+
+def brute_force_longest_path(num_nodes, precedence, exclusion) -> int:
+    """Reference longest-simple-path by trying every node permutation
+    prefix (exponential — keep num_nodes tiny)."""
+    succ = {i: set() for i in range(num_nodes)}
+    for a, b in precedence:
+        succ[a].add(b)
+    for a, b in exclusion:
+        succ[a].add(b)
+        succ[b].add(a)
+
+    best = 0
+
+    def dfs(node, visited):
+        nonlocal best
+        best = max(best, len(visited))
+        for nxt in succ[node]:
+            if nxt not in visited:
+                dfs(nxt, visited | {nxt})
+
+    for start in range(num_nodes):
+        dfs(start, {start})
+    return best if num_nodes else 0
+
+
+class TestStructure:
+    def test_precedence_dominates_exclusion(self):
+        g, nodes = build_graph(2, precedence=[(0, 1)])
+        g.add_exclusion(nodes[0], nodes[1])  # should be ignored
+        assert len(g.exclusion_edges()) == 0
+        assert len(g.precedence_edges()) == 1
+
+    def test_self_edges_ignored(self):
+        g, nodes = build_graph(1)
+        g.add_precedence(nodes[0], nodes[0])
+        g.add_exclusion(nodes[0], nodes[0])
+        assert not g.precedence_edges() and not g.exclusion_edges()
+
+    def test_cycle_detection(self):
+        g, _ = build_graph(3, precedence=[(0, 1), (1, 2), (2, 0)])
+        assert g.has_cycle()
+        g2, _ = build_graph(3, precedence=[(0, 1), (1, 2)])
+        assert not g2.has_cycle()
+
+
+class TestLongestPath:
+    def test_empty_graph(self):
+        g = DependencyGraph()
+        assert g.longest_simple_path() == 0
+
+    def test_single_node(self):
+        g, _ = build_graph(1)
+        assert g.longest_simple_path() == 1
+
+    def test_chain(self):
+        g, _ = build_graph(4, precedence=[(0, 1), (1, 2), (2, 3)])
+        assert g.longest_simple_path() == 4
+
+    def test_exclusion_clique_traversable(self):
+        # A clique of k mutually-excluded nodes admits a k-node path.
+        g, _ = build_graph(4, exclusion=list(itertools.combinations(range(4), 2)))
+        assert g.longest_simple_path() == 4
+
+    def test_figure9_shape(self):
+        # incr_i -> min_i; min_i <-> min_j: path incr,min,min,min = K+1.
+        k = 3
+        precedence = [(i, k + i) for i in range(k)]
+        exclusion = list(
+            itertools.combinations(range(k, 2 * k), 2)
+        )
+        names = [f"incr" for _ in range(k)] + [f"min" for _ in range(k)]
+        g, _ = build_graph(2 * k, precedence=precedence, exclusion=exclusion,
+                           names=names)
+        assert g.longest_simple_path() == k + 1
+
+    def test_cutoff_early_exit(self):
+        g, _ = build_graph(6, precedence=[(i, i + 1) for i in range(5)])
+        # With cutoff 3, anything > 3 may be reported as 4.
+        assert g.longest_simple_path(cutoff=3) == 4
+
+    def test_disconnected_components(self):
+        g, _ = build_graph(5, precedence=[(0, 1), (2, 3)])
+        assert g.longest_simple_path() == 2
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_nodes=st.integers(min_value=1, max_value=6),
+        edges=st.lists(
+            st.tuples(st.integers(0, 5), st.integers(0, 5), st.booleans()),
+            max_size=10,
+        ),
+    )
+    def test_matches_brute_force(self, num_nodes, edges):
+        """Exact search (with symmetry pruning) never *exceeds* brute force
+        and matches it when node templates are distinct (no symmetry)."""
+        precedence, exclusion = [], []
+        for a, b, is_prec in edges:
+            a %= num_nodes
+            b %= num_nodes
+            if a == b:
+                continue
+            if is_prec:
+                precedence.append((a, b))
+            else:
+                exclusion.append(tuple(sorted((a, b))))
+        # Distinct names -> no symmetry classes -> search must be exact.
+        g, _ = build_graph(num_nodes, precedence=precedence,
+                           exclusion=exclusion)
+        # Recompute the edges the graph actually kept (precedence dominates).
+        kept_prec = [(a.node_id, b.node_id) for a, b in g.precedence_edges()]
+        kept_excl = [(a.node_id, b.node_id) for a, b in g.exclusion_edges()]
+        expected = brute_force_longest_path(num_nodes, kept_prec, kept_excl)
+        assert g.longest_simple_path() == expected
+
+    @settings(max_examples=30, deadline=None)
+    @given(k=st.integers(min_value=1, max_value=8))
+    def test_symmetric_clique_paths_exact_under_pruning(self, k):
+        # All nodes share a template -> symmetry pruning engaged; the
+        # result must still be exact for the clique.
+        g, _ = build_graph(
+            k,
+            exclusion=list(itertools.combinations(range(k), 2)),
+            names=["same"] * k,
+        )
+        assert g.longest_simple_path() == k

@@ -1,0 +1,47 @@
+"""DOT-export tests."""
+
+from repro.analysis import (
+    build_dependency_graph,
+    build_ir,
+    graph_to_dot,
+    instantiate,
+)
+from repro.lang import check_program, parse_program
+from repro.structures import CMS_SOURCE
+
+
+def cms_graph(rows: int):
+    ir = build_ir(check_program(parse_program(CMS_SOURCE)), "Ingress")
+    insts = [i for i in instantiate(ir, {"cms_rows": rows})
+             if i.symbolic == "cms_rows"]
+    return build_dependency_graph(insts)
+
+
+class TestGraphToDot:
+    def test_structure(self):
+        dot = graph_to_dot(cms_graph(2), title="cms")
+        assert dot.startswith('digraph "cms" {')
+        assert dot.rstrip().endswith("}")
+
+    def test_all_nodes_present(self):
+        graph = cms_graph(3)
+        dot = graph_to_dot(graph)
+        for node in graph.nodes:
+            assert f'label="{node.label}"' in dot
+
+    def test_edge_styles(self):
+        dot = graph_to_dot(cms_graph(2))
+        directed = [l for l in dot.splitlines()
+                    if "->" in l and "style=dashed" not in l and "label" not in l]
+        dashed = [l for l in dot.splitlines() if "style=dashed" in l]
+        assert len(directed) == 2   # incr_i -> min_i
+        assert len(dashed) == 1     # min_0 <-> min_1
+
+    def test_quotes_escaped(self):
+        from repro.analysis.depgraph import DependencyGraph
+        from repro.analysis.ir import ActionInstance
+
+        g = DependencyGraph()
+        g.add_node([ActionInstance(uid=0, name='odd"name', body=[])])
+        dot = graph_to_dot(g)
+        assert '\\"' in dot

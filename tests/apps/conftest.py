@@ -1,0 +1,23 @@
+"""App-test fixtures: compiled apps on a reduced Tofino-like target.
+
+The reduced target keeps the Tofino's ALU/PHV profile but fewer stages
+and less memory, so app compiles stay fast while exercising the same
+layout machinery.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.pisa.resources import tofino
+
+
+@pytest.fixture(scope="session")
+def mini_tofino():
+    return dataclasses.replace(
+        tofino(),
+        stages=6,
+        memory_bits_per_stage=64 * 1024,
+    )

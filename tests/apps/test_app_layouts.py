@@ -1,0 +1,80 @@
+"""Cross-application layout invariants on the full Tofino-like target.
+
+These compile each application once at full scale and assert the
+structural facts the harnesses and benchmarks rely on.
+"""
+
+import pytest
+
+from repro.apps import (
+    conquest_source,
+    netcache_source,
+    precision_source,
+    sketchlearn_source,
+)
+from repro.core import compile_source, validate_layout
+from repro.pisa import Pipeline
+from repro.pisa.resources import tofino
+
+
+@pytest.fixture(scope="module")
+def compiled_apps():
+    target = tofino()
+    return {
+        name: compile_source(source, target, source_name=name)
+        for name, source in (
+            ("netcache", netcache_source()),
+            ("sketchlearn", sketchlearn_source()),
+            ("precision", precision_source()),
+            ("conquest", conquest_source()),
+        )
+    }
+
+
+class TestAllApps:
+    def test_layouts_validate(self, compiled_apps):
+        for compiled in compiled_apps.values():
+            validate_layout(compiled)
+
+    def test_pipelines_load(self, compiled_apps):
+        for compiled in compiled_apps.values():
+            Pipeline(compiled)
+
+    def test_generated_p4_reparses(self, compiled_apps):
+        from repro.lang import check_program, parse_program
+
+        for name, compiled in compiled_apps.items():
+            check_program(parse_program(compiled.p4_source, f"{name}.p4"))
+
+    def test_every_app_stretches_something(self, compiled_apps):
+        for name, compiled in compiled_apps.items():
+            assert compiled.total_register_bits() > 1 << 20, name
+
+    def test_netcache_specifics(self, compiled_apps):
+        compiled = compiled_apps["netcache"]
+        syms = compiled.symbol_values
+        assert 1 <= syms["cms_rows"] <= 4
+        assert syms["kv_rows"] >= 1
+        # Both structures and the routing table placed.
+        assert any(u.instance.table == "route" for u in compiled.units)
+
+    def test_sketchlearn_levels_all_placed(self, compiled_apps):
+        compiled = compiled_apps["sketchlearn"]
+        levels = [u for u in compiled.units if u.instance.name.startswith("sl_count")]
+        assert len(levels) == 9
+
+    def test_precision_rows_spread(self, compiled_apps):
+        compiled = compiled_apps["precision"]
+        rows = compiled.symbol_values["ht_rows"]
+        stages = {
+            u.stage for u in compiled.units if u.instance.name == "ht_probe"
+        }
+        # Each probe touches two registers (2 stateful ALUs); with F = 4
+        # at most two probes share a stage.
+        assert len(stages) >= rows / 2
+
+    def test_conquest_snapshots_isolated(self, compiled_apps):
+        compiled = compiled_apps["conquest"]
+        snap_regs = [r for r in compiled.registers if r.family == "cq_snap"]
+        assert len(snap_regs) == 4
+        assert len({r.cells for r in snap_regs}) == 1

@@ -1,0 +1,28 @@
+"""Baseline/source file generation tests."""
+
+from repro.apps.baselines import write_app_sources, write_baselines
+from repro.eval.fig11_apps import count_loc
+from repro.lang import check_program, parse_program
+
+
+class TestGeneration:
+    def test_app_sources_written_and_parse(self, tmp_path):
+        paths = write_app_sources(tmp_path)
+        assert {p.name for p in paths} == {
+            "netcache.p4all", "sketchlearn.p4all",
+            "precision.p4all", "conquest.p4all",
+        }
+        for path in paths:
+            check_program(parse_program(path.read_text(), str(path)))
+
+    def test_baselines_written_and_longer(self, tmp_path, mini_tofino):
+        sources = {p.stem: p for p in write_app_sources(tmp_path / "src")}
+        baselines = write_baselines(tmp_path / "p4", target=mini_tofino)
+        assert len(baselines) == 4
+        for baseline in baselines:
+            elastic = sources[baseline.stem].read_text()
+            concrete = baseline.read_text()
+            # The unrolled baseline re-parses and is longer than the
+            # elastic source.
+            check_program(parse_program(concrete, str(baseline)))
+            assert count_loc(concrete) > count_loc(elastic)

@@ -1,0 +1,37 @@
+"""Shared fixtures.
+
+Compilation fixtures are session-scoped: the compiler is deterministic,
+so tests can share compiled artifacts safely (pipelines built from them
+are per-test, since pipelines hold mutable register state).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import CompiledProgram, compile_source
+from repro.pisa import Pipeline, small_target, toy_three_stage
+from repro.structures import CMS_SOURCE
+
+
+@pytest.fixture(scope="session")
+def toy3():
+    return toy_three_stage()
+
+
+@pytest.fixture(scope="session")
+def small8():
+    """8-stage small target used across compile tests."""
+    return small_target(stages=8, memory_kb=64)
+
+
+@pytest.fixture(scope="session")
+def compiled_cms(small8) -> CompiledProgram:
+    """The standalone library CMS compiled for the small 8-stage target."""
+    return compile_source(CMS_SOURCE, small8, source_name="cms")
+
+
+@pytest.fixture()
+def cms_pipeline(compiled_cms) -> Pipeline:
+    """A fresh pipeline (clean registers) per test."""
+    return Pipeline(compiled_cms)

@@ -1,0 +1,55 @@
+"""CompiledProgram artifact-API tests."""
+
+import pytest
+
+from repro.core.program import CompileStats
+
+
+class TestCompiledProgramHelpers:
+    def test_units_partition_by_stage(self, compiled_cms):
+        total = sum(
+            len(compiled_cms.units_in_stage(s))
+            for s in range(compiled_cms.target.stages)
+        )
+        assert total == len(compiled_cms.units)
+
+    def test_registers_partition_by_stage(self, compiled_cms):
+        total = sum(
+            len(compiled_cms.registers_in_stage(s))
+            for s in range(compiled_cms.target.stages)
+        )
+        assert total == len(compiled_cms.registers)
+
+    def test_family_total_cells(self, compiled_cms):
+        syms = compiled_cms.symbol_values
+        assert compiled_cms.family_total_cells("cms_sketch") == \
+            syms["cms_rows"] * syms["cms_cols"]
+        assert compiled_cms.family_total_cells("ghost") == 0
+
+    def test_total_register_bits(self, compiled_cms):
+        expected = sum(r.cells * r.width for r in compiled_cms.registers)
+        assert compiled_cms.total_register_bits() == expected
+
+    def test_stages_used_sorted_unique(self, compiled_cms):
+        used = compiled_cms.stages_used()
+        assert used == sorted(set(used))
+
+    def test_register_alloc_names(self, compiled_cms):
+        reg = compiled_cms.registers[0]
+        assert reg.name == f"{reg.family}[{reg.index}]"
+        assert reg.size_bits == reg.cells * reg.width
+
+    def test_repr_mentions_symbols(self, compiled_cms):
+        assert "cms_rows=" in repr(compiled_cms)
+
+
+class TestCompileStats:
+    def test_total_is_sum_of_phases(self):
+        stats = CompileStats(
+            parse_seconds=0.1,
+            analysis_seconds=0.2,
+            ilp_build_seconds=0.3,
+            ilp_solve_seconds=0.4,
+            codegen_seconds=0.5,
+        )
+        assert stats.total_seconds == pytest.approx(1.5)

@@ -1,0 +1,54 @@
+"""Property-based compilation tests: random targets, invariant layouts.
+
+For randomly drawn (small) targets, compiling the library CMS must either
+fail cleanly (infeasible) or produce a layout satisfying every resource
+and dependency invariant — the same checks the PISA simulator enforces at
+load time.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import LayoutInfeasibleError, compile_source
+from repro.pisa import Pipeline
+from repro.pisa.resources import TargetSpec
+from repro.structures import CMS_SOURCE
+
+
+@st.composite
+def random_target(draw):
+    return TargetSpec(
+        name="rand",
+        stages=draw(st.integers(min_value=2, max_value=6)),
+        memory_bits_per_stage=draw(st.sampled_from([1024, 4096, 16384, 65536])),
+        stateful_alus_per_stage=draw(st.integers(min_value=1, max_value=4)),
+        stateless_alus_per_stage=draw(st.integers(min_value=2, max_value=8)),
+        phv_bits=draw(st.sampled_from([256, 1024, 4096])),
+        hash_units_per_stage=draw(st.integers(min_value=1, max_value=4)),
+    )
+
+
+class TestCompileInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(random_target())
+    def test_layout_respects_every_budget(self, target):
+        try:
+            compiled = compile_source(CMS_SOURCE, target)
+        except LayoutInfeasibleError:
+            return  # a clean refusal is acceptable on starved targets
+        # The pipeline's load-time validation re-checks memory, ALUs,
+        # hash units, PHV, and register co-location independently.
+        Pipeline(compiled)
+        # Dependency invariants.
+        stages = {u.label: u.stage for u in compiled.units}
+        rows = compiled.symbol_values["cms_rows"]
+        for i in range(rows):
+            assert stages[f"cms_incr[{i}]"] < stages[f"cms_take_min[{i}]"]
+        mins = [stages[f"cms_take_min[{i}]"] for i in range(rows)]
+        assert len(set(mins)) == len(mins)
+        # Equal sizes + assume caps.
+        sizes = {r.cells for r in compiled.registers}
+        assert len(sizes) <= 1
+        assert rows <= 4

@@ -1,0 +1,52 @@
+"""Report-formatting tests (summary line, stage map, figure tables)."""
+
+import pytest
+
+from repro.core import compile_source, layout_report, summary_line
+from repro.pisa.resources import small_target
+from repro.structures import BLOOM_SOURCE
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_source(
+        BLOOM_SOURCE, small_target(stages=6, memory_kb=32), source_name="bloom"
+    )
+
+
+class TestSummaryLine:
+    def test_contains_essentials(self, compiled):
+        line = summary_line(compiled)
+        assert "bloom" in line
+        assert "bf_hashes=" in line and "bf_bits=" in line
+        assert "objective" in line and "vars" in line
+
+    def test_single_line(self, compiled):
+        assert "\n" not in summary_line(compiled)
+
+
+class TestLayoutReport:
+    def test_percentages_bounded(self, compiled):
+        report = layout_report(compiled)
+        for token in report.split():
+            if token.endswith("%)"):
+                pct = float(token.strip("()%"))
+                assert 0.0 <= pct <= 100.0
+
+    def test_every_placed_register_listed(self, compiled):
+        report = layout_report(compiled)
+        for reg in compiled.registers:
+            assert reg.name in report
+
+    def test_empty_stages_omitted(self, compiled):
+        report = layout_report(compiled)
+        used = compiled.stages_used()
+        for stage in range(compiled.target.stages):
+            line = f"stage {stage}:"
+            if stage in used:
+                assert line in report
+            else:
+                assert line not in report
+
+    def test_solver_backend_mentioned(self, compiled):
+        assert compiled.solution.backend in layout_report(compiled)

@@ -1,0 +1,74 @@
+"""Standalone layout-validator tests (fault injection)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import compile_source, validate_layout
+from repro.core.validate import LayoutValidationError
+from repro.pisa.resources import small_target
+from repro.structures import CMS_SOURCE
+
+
+@pytest.fixture()
+def compiled():
+    # Fresh artifact per test — these tests mutate it.
+    return compile_source(CMS_SOURCE, small_target(stages=6, memory_kb=32))
+
+
+class TestValidateLayout:
+    def test_clean_artifact_passes(self, compiled):
+        validate_layout(compiled)
+
+    def test_misplaced_register_rejected(self, compiled):
+        compiled.registers[0].stage = (compiled.registers[0].stage + 1) % 6
+        with pytest.raises(LayoutValidationError):
+            validate_layout(compiled)
+
+    def test_memory_overflow_detected(self, compiled):
+        compiled.registers[0].cells *= 100
+        with pytest.raises(LayoutValidationError):
+            validate_layout(compiled)
+
+    def test_unequal_family_sizes_detected(self, compiled):
+        if len(compiled.registers) < 2:
+            pytest.skip("needs two register instances")
+        compiled.registers[0].cells -= 1
+        with pytest.raises(LayoutValidationError, match="unequal sizes"):
+            validate_layout(compiled)
+
+    def test_stage_swap_rejected(self, compiled):
+        incr = next(u for u in compiled.units if u.instance.name == "cms_incr")
+        take = next(
+            u for u in compiled.units
+            if u.instance.name == "cms_take_min"
+            and u.instance.iteration == incr.instance.iteration
+        )
+        # Also move the register so the co-location check doesn't fire first.
+        incr.stage, take.stage = take.stage, incr.stage
+        for reg in compiled.registers:
+            if reg.index == incr.instance.iteration:
+                reg.stage = incr.stage
+        with pytest.raises(LayoutValidationError):
+            validate_layout(compiled)
+
+    def test_colocated_exclusive_units_rejected(self, compiled):
+        mins = [u for u in compiled.units if u.instance.name == "cms_take_min"]
+        if len(mins) < 2:
+            pytest.skip("needs two take_min units")
+        mins[1].stage = mins[0].stage
+        with pytest.raises(LayoutValidationError):
+            validate_layout(compiled)
+
+    def test_symbol_value_mismatch_detected(self, compiled):
+        compiled.solution.symbol_values["cms_rows"] += 1
+        with pytest.raises(LayoutValidationError, match="placed iterations"):
+            validate_layout(compiled)
+
+    def test_phv_overflow_detected(self, compiled):
+        compiled = dataclasses.replace(
+            compiled,
+            target=dataclasses.replace(compiled.target, phv_bits=8),
+        )
+        with pytest.raises(LayoutValidationError, match="PHV"):
+            validate_layout(compiled)

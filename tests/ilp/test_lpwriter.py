@@ -1,0 +1,76 @@
+"""LP-format writer tests."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, VarType
+from repro.ilp.lpwriter import model_to_lp, write_lp
+
+
+@pytest.fixture()
+def model():
+    m = Model("demo")
+    x = m.add_var("x[a@0]", vartype=VarType.BINARY)
+    y = m.add_var("y", lb=0, ub=7, vartype=VarType.INTEGER)
+    z = m.add_var("z", lb=0.5, ub=2.5)
+    m.add_constr(x + 2 * y <= 10, name="cap")
+    m.add_constr(y - z >= 1)
+    m.add_constr(1 * z == 2)
+    m.maximize(3 * x + y + 0.5 * z)
+    return m
+
+
+class TestLpFormat:
+    def test_sections_present(self, model):
+        text = model_to_lp(model)
+        for section in ("Maximize", "Subject To", "Bounds", "General",
+                        "Binary", "End"):
+            assert section in text
+
+    def test_names_sanitized(self, model):
+        text = model_to_lp(model)
+        assert "x[a@0]" not in text
+        assert "x_a_0_" in text
+
+    def test_constraints_rendered(self, model):
+        text = model_to_lp(model)
+        assert "cap_0: x_a_0_ + 2 y <= 10" in text
+        assert "y - z >= 1" in text
+        assert "z = 2" in text
+
+    def test_bounds_rendered(self, model):
+        text = model_to_lp(model)
+        assert "0 <= y <= 7" in text
+        assert "0.5 <= z <= 2.5" in text
+
+    def test_minimize_sense(self):
+        m = Model()
+        x = m.add_var("x", ub=4)
+        m.minimize(2 * x)
+        assert "Minimize" in model_to_lp(m)
+
+    def test_duplicate_sanitized_names_disambiguated(self):
+        m = Model()
+        a = m.add_var("v@1")
+        b = m.add_var("v#1")
+        m.maximize(a + b)
+        text = model_to_lp(m)
+        assert "v_1" in text and "v_1__1" in text
+
+    def test_write_to_file(self, model, tmp_path):
+        path = tmp_path / "model.lp"
+        write_lp(model, path)
+        assert path.read_text().endswith("End\n")
+
+    def test_layout_model_exports(self, compiled_cms, tmp_path):
+        # A real layout ILP serializes without error and is non-trivial.
+        from repro.analysis import build_ir, compute_upper_bounds
+        from repro.core.layout import LayoutBuilder
+
+        ir = compiled_cms.ir
+        builder = LayoutBuilder(
+            ir, compiled_cms.bounds, compiled_cms.target
+        )
+        builder.build()
+        text = model_to_lp(builder.layout.model)
+        assert text.count("\n") > 50
+        assert "mem_0" in text

@@ -1,0 +1,117 @@
+"""ILP modeling-layer tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.ilp import LinExpr, Model, ModelError, Sense, VarType
+
+
+class TestLinExpr:
+    def test_arithmetic(self):
+        m = Model()
+        x = m.add_var("x")
+        y = m.add_var("y")
+        expr = 2 * x + 3 * y - 4
+        assert expr.terms[x] == 2
+        assert expr.terms[y] == 3
+        assert expr.constant == -4
+
+    def test_subtraction_and_negation(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = 5 - x
+        assert expr.terms[x] == -1 and expr.constant == 5
+        assert (-expr).terms[x] == 1
+
+    def test_total(self):
+        m = Model()
+        xs = [m.add_var(f"x{i}") for i in range(4)]
+        expr = LinExpr.total(xs)
+        assert all(expr.terms[x] == 1 for x in xs)
+
+    def test_value_evaluation(self):
+        m = Model()
+        x = m.add_var("x")
+        expr = 3 * x + 1
+        assert expr.value({x: 2.0}) == 7.0
+        assert expr.value({}) == 1.0
+
+    def test_nonlinear_product_rejected(self):
+        m = Model()
+        x = m.add_var("x")
+        with pytest.raises(ModelError, match="scalar"):
+            (1 * x) * (1 * x)
+
+
+class TestConstraints:
+    def test_senses(self):
+        m = Model()
+        x = m.add_var("x")
+        le = x <= 5
+        ge = x >= 2
+        eq = 1 * x == 3
+        assert le.sense is Sense.LE
+        assert ge.sense is Sense.GE
+        assert eq.sense is Sense.EQ
+
+    def test_satisfaction(self):
+        m = Model()
+        x = m.add_var("x")
+        c = 2 * x <= 10
+        assert c.satisfied({x: 5.0})
+        assert not c.satisfied({x: 5.1})
+
+    def test_cross_model_variable_rejected(self):
+        m1, m2 = Model(), Model()
+        x1 = m1.add_var("x")
+        with pytest.raises(ModelError, match="another model"):
+            m2.add_constr(x1 <= 1)
+
+    def test_non_constraint_rejected(self):
+        with pytest.raises(ModelError, match="expects a Constraint"):
+            Model().add_constr(True)  # e.g. accidental `x == y` on floats
+
+
+class TestModel:
+    def test_binary_bounds_forced(self):
+        m = Model()
+        b = m.add_var("b", lb=-5, ub=9, vartype=VarType.BINARY)
+        assert (b.lb, b.ub) == (0.0, 1.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ModelError, match="lb"):
+            Model().add_var("x", lb=2, ub=1)
+
+    def test_duplicate_names_disambiguated(self):
+        m = Model()
+        a = m.add_var("x")
+        b = m.add_var("x")
+        assert a.name != b.name
+
+    def test_is_feasible_checks_everything(self):
+        m = Model()
+        x = m.add_var("x", lb=0, ub=4, vartype=VarType.INTEGER)
+        m.add_constr(x >= 2)
+        assert m.is_feasible({x: 3.0})
+        assert not m.is_feasible({x: 1.0})   # constraint
+        assert not m.is_feasible({x: 5.0})   # bound
+        assert not m.is_feasible({x: 2.5})   # integrality
+
+    def test_matrix_form(self):
+        m = Model()
+        x = m.add_var("x", ub=10)
+        y = m.add_var("y", ub=10, vartype=VarType.INTEGER)
+        m.add_constr(x + 2 * y <= 8)
+        m.add_constr(x - y >= 1)
+        m.add_constr(1 * x == 4)
+        m.maximize(x + y)
+        c, a, lo, hi, (lbs, ubs), integrality = m.to_matrix_form()
+        assert c.tolist() == [-1, -1]  # negated for maximization
+        assert a.shape == (3, 2)
+        assert hi[0] == 8 and math.isinf(lo[0])
+        assert lo[1] == 1 and math.isinf(hi[1])
+        assert lo[2] == hi[2] == 4
+        assert integrality.tolist() == [0, 1]
+        assert ubs.tolist() == [10, 10]

@@ -1,0 +1,45 @@
+"""Solution-object helper tests."""
+
+import pytest
+
+from repro.ilp import LinExpr, Model, Solution, SolveStatus, VarType, solve
+
+
+@pytest.fixture()
+def solved():
+    m = Model()
+    x = m.add_var("x", ub=10, vartype=VarType.INTEGER)
+    y = m.add_var("y", ub=10)
+    m.add_constr(x + y <= 7.5)
+    m.maximize(2 * x + y)
+    return m, x, y, solve(m)
+
+
+class TestSolution:
+    def test_status_ok(self, solved):
+        _m, _x, _y, sol = solved
+        assert sol.status.ok
+        assert not SolveStatus.INFEASIBLE.ok
+
+    def test_value_accessors(self, solved):
+        _m, x, y, sol = solved
+        assert sol[x] == sol.value(x)
+        assert sol.int_value(x) == 7
+        assert isinstance(sol.int_value(x), int)
+
+    def test_missing_var_default(self, solved):
+        m2 = Model()
+        other = m2.add_var("other")
+        _m, _x, _y, sol = solved
+        assert sol.value(other, default=3.5) == 3.5
+
+    def test_check_against_model(self, solved):
+        m, x, _y, sol = solved
+        assert sol.check(m)
+        # Tampering breaks feasibility.
+        sol.values[x] = 99.0
+        assert not sol.check(m)
+
+    def test_repr_mentions_backend(self, solved):
+        _m, _x, _y, sol = solved
+        assert sol.backend in repr(sol)

@@ -1,0 +1,148 @@
+"""Lexer unit tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def values(source):
+    return [t.value for t in tokenize(source)][:-1]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof_only(self):
+        toks = tokenize("")
+        assert len(toks) == 1
+        assert toks[0].kind is TokenKind.EOF
+
+    def test_identifier(self):
+        assert kinds("foo _bar x1") == [TokenKind.IDENT] * 3
+        assert values("foo _bar x1") == ["foo", "_bar", "x1"]
+
+    def test_keywords_are_distinguished(self):
+        assert kinds("symbolic assume optimize") == [
+            TokenKind.KW_SYMBOLIC, TokenKind.KW_ASSUME, TokenKind.KW_OPTIMIZE,
+        ]
+
+    def test_keyword_prefix_is_identifier(self):
+        # 'symbolically' must not lex as the keyword 'symbolic'.
+        assert kinds("symbolically") == [TokenKind.IDENT]
+
+    def test_decimal_int(self):
+        assert values("0 7 2048 4294967295") == [0, 7, 2048, 4294967295]
+
+    def test_hex_int(self):
+        assert values("0x10 0xFF 0xdead_beef") == [16, 255, 0xDEADBEEF]
+
+    def test_binary_int(self):
+        assert values("0b101 0b1111_0000") == [5, 0xF0]
+
+    def test_underscore_separated_decimal(self):
+        assert values("1_000_000") == [1000000]
+
+    def test_width_prefixed_literal(self):
+        # P4-style 8w255: width is informational; value is 255.
+        assert values("8w255") == [255]
+
+    def test_float_literal(self):
+        assert values("0.4 12.5") == [0.4, 12.5]
+        assert kinds("0.4") == [TokenKind.FLOAT]
+
+    def test_bool_literals(self):
+        toks = tokenize("true false")
+        assert toks[0].value is True
+        assert toks[1].value is False
+
+    def test_string_literal(self):
+        assert values('"hello"') == ["hello"]
+
+    def test_string_escapes(self):
+        assert values(r'"a\nb\"c"') == ['a\nb"c']
+
+
+class TestOperators:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("<<", TokenKind.SHL), (">>", TokenKind.SHR),
+            ("<=", TokenKind.LE), (">=", TokenKind.GE),
+            ("==", TokenKind.EQ), ("!=", TokenKind.NE),
+            ("&&", TokenKind.AND), ("||", TokenKind.OR),
+        ],
+    )
+    def test_two_char_operators(self, text, kind):
+        assert kinds(text) == [kind]
+
+    def test_adjacent_angle_brackets_lex_as_shr(self):
+        # The parser, not the lexer, splits '>>' in register<bit<32>>.
+        assert kinds("bit<32>>") == [
+            TokenKind.KW_BIT, TokenKind.LT, TokenKind.INT, TokenKind.SHR,
+        ]
+
+    def test_single_char_operators(self):
+        assert kinds("+-*/%") == [
+            TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR,
+            TokenKind.SLASH, TokenKind.PERCENT,
+        ]
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("x // comment here\ny") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_block_comment(self):
+        assert kinds("x /* multi\nline */ y") == [TokenKind.IDENT, TokenKind.IDENT]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(LexError, match="unterminated block comment"):
+            tokenize("x /* oops")
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(LexError, match="unterminated string"):
+            tokenize('"oops')
+
+
+class TestLocations:
+    def test_line_and_column_tracking(self):
+        toks = tokenize("a\n  b")
+        assert (toks[0].loc.line, toks[0].loc.column) == (1, 1)
+        assert (toks[1].loc.line, toks[1].loc.column) == (2, 3)
+
+    def test_error_includes_location_and_snippet(self):
+        with pytest.raises(LexError) as exc:
+            tokenize("x = `;")
+        assert ":1:5" in str(exc.value)
+        assert "^" in str(exc.value)
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("`")
+
+
+class TestLexerProperties:
+    @given(st.integers(min_value=0, max_value=2**63))
+    def test_integer_round_trip(self, value):
+        assert values(str(value)) == [value]
+
+    @given(
+        st.from_regex(r"[a-zA-Z_][a-zA-Z0-9_]{0,20}", fullmatch=True)
+    )
+    def test_identifier_or_keyword_round_trip(self, name):
+        toks = tokenize(name)
+        assert len(toks) == 2  # token + EOF
+        if toks[0].kind is TokenKind.IDENT:
+            assert toks[0].value == name
+
+    @given(st.lists(st.sampled_from(
+        ["foo", "42", "+", "(", ")", "<=", "if", "0x1F", "&&"]
+    ), max_size=30))
+    def test_whitespace_insensitivity(self, parts):
+        a = tokenize(" ".join(parts))
+        b = tokenize("  \n\t ".join(parts))
+        assert [(t.kind, t.value) for t in a] == [(t.kind, t.value) for t in b]

@@ -1,0 +1,29 @@
+"""Annotation-skipping lexer tests (generated-P4 re-parsing support)."""
+
+import pytest
+
+from repro.lang import LexError, tokenize
+from repro.lang.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]
+
+
+class TestAnnotations:
+    def test_stage_annotation_skipped(self):
+        toks = kinds("@stage(3) register<bit<8>>[4] r;")
+        assert toks[0] is TokenKind.KW_REGISTER
+
+    def test_bare_annotation_skipped(self):
+        assert kinds("@pragma x") == [TokenKind.IDENT]
+
+    def test_annotation_with_nested_parens(self):
+        assert kinds("@anno(f(1, 2), g(3)) y") == [TokenKind.IDENT]
+
+    def test_unterminated_annotation_raises(self):
+        with pytest.raises(LexError, match="unterminated annotation"):
+            tokenize("@stage(3")
+
+    def test_annotation_between_tokens(self):
+        assert kinds("a @stage(0) b") == [TokenKind.IDENT, TokenKind.IDENT]

@@ -1,0 +1,67 @@
+"""Parser diagnostics: every grammar corner reports a usable error."""
+
+import pytest
+
+from repro.lang import ParseError, parse_program
+
+
+@pytest.mark.parametrize(
+    "source,fragment",
+    [
+        ("symbolic float x;", "'int' after 'symbolic'"),
+        ("symbolic int 5;", "symbolic value name"),
+        ("register<bit<32> [4] r;", ""),
+        ("register<bit<32>>[4", ""),
+        ("register<bit<32>>[4] ;", "register name"),
+        ("action a(bit<8>) { }", "parameter name"),
+        ("action a()[int] { }", "iteration parameter name"),
+        ("table t { key = { x.y exact; } }", ""),
+        ("table t { key = { x.y : range; } }", "match kind"),
+        ("table t { frobnicate = 1; }", "unexpected token"),
+        ("control C() { banana }", "unexpected token"),
+        ("struct s { bit<8> }", "field name"),
+        ("const int = 4;", "constant name"),
+        ("header h { bit<8> f }", ""),
+        ("optimize ;", ""),
+        ("assume ;", ""),
+    ],
+)
+def test_malformed_declarations_raise(source, fragment):
+    with pytest.raises(ParseError) as excinfo:
+        parse_program(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "body,fragment",
+    [
+        ("for i < n) { }", ""),
+        ("for (i) { }", "'<' in loop header"),
+        ("if meta.x == 1 { }", ""),
+        ("meta.x = ;", ""),
+        ("meta.x 4;", ""),
+        ("foo(;", ""),
+    ],
+)
+def test_malformed_statements_raise(body, fragment):
+    source = f"control C(inout metadata m) {{ apply {{ {body} }} }}"
+    with pytest.raises(ParseError) as excinfo:
+        parse_program(source)
+    if fragment:
+        assert fragment in str(excinfo.value)
+
+
+def test_errors_carry_position_and_snippet():
+    source = "symbolic int rows;\nregister<bit<32>>[cols] ;"
+    with pytest.raises(ParseError) as excinfo:
+        parse_program(source)
+    message = str(excinfo.value)
+    assert ":2:" in message          # correct line
+    assert "register" in message     # snippet included
+    assert "^" in message            # caret marker
+
+
+def test_eof_inside_block_reports_cleanly():
+    with pytest.raises(ParseError):
+        parse_program("control C() { apply { meta.x = 1;")

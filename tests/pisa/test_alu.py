@@ -1,0 +1,54 @@
+"""Stateless ALU op semantics."""
+
+import pytest
+
+from repro.pisa.alu import AluError, apply_binary, apply_unary
+
+
+class TestBinaryOps:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("+", 3, 4, 7),
+            ("-", 3, 4, -1),
+            ("*", 5, 6, 30),
+            ("/", 7, 2, 3),
+            ("/", 7, 0, 0),     # defined total: /0 = 0
+            ("%", 7, 3, 1),
+            ("%", 7, 0, 0),
+            ("&", 0b1100, 0b1010, 0b1000),
+            ("|", 0b1100, 0b1010, 0b1110),
+            ("^", 0b1100, 0b1010, 0b0110),
+            ("<<", 1, 4, 16),
+            (">>", 16, 4, 1),
+            ("==", 3, 3, 1),
+            ("!=", 3, 3, 0),
+            ("<", 2, 3, 1),
+            (">=", 2, 3, 0),
+            ("&&", 1, 0, 0),
+            ("||", 1, 0, 1),
+        ],
+    )
+    def test_semantics(self, op, a, b, expected):
+        assert apply_binary(op, a, b) == expected
+
+    def test_huge_shift_is_clamped(self):
+        # Shifts beyond 64 are clamped, not an exception / memory blowup.
+        assert apply_binary(">>", 1, 10**9) == 0
+        assert apply_binary("<<", 1, 10**9) == 1 << 64
+
+    def test_unknown_op(self):
+        with pytest.raises(AluError):
+            apply_binary("**", 2, 3)
+
+
+class TestUnaryOps:
+    def test_semantics(self):
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("!", 0) == 1
+        assert apply_unary("!", 7) == 0
+        assert apply_unary("~", 0) == -1
+
+    def test_unknown_op(self):
+        with pytest.raises(AluError):
+            apply_unary("abs", -1)

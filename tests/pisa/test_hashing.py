@@ -1,0 +1,81 @@
+"""Hash-family tests: determinism, vector/scalar agreement, spread."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pisa.hashing import Crc32Hash, MultiplyShiftHash, hash_family
+
+
+class TestMultiplyShift:
+    def test_deterministic_across_instances(self):
+        a = MultiplyShiftHash(7)
+        b = MultiplyShiftHash(7)
+        assert [a(k, width=1024) for k in range(50)] == [
+            b(k, width=1024) for k in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = MultiplyShiftHash(1)
+        b = MultiplyShiftHash(2)
+        outs_a = [a(k, width=1 << 20) for k in range(100)]
+        outs_b = [b(k, width=1 << 20) for k in range(100)]
+        assert outs_a != outs_b
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=1, max_value=2**20))
+    def test_in_range(self, key, width):
+        fn = MultiplyShiftHash(3)
+        assert 0 <= fn(key, width=width) < width
+
+    def test_vector_matches_scalar(self):
+        fn = MultiplyShiftHash(11)
+        keys = np.arange(0, 500, dtype=np.uint64)
+        vec = fn.vector(keys, 4096)
+        scalar = [fn(int(k), width=4096) for k in keys]
+        assert list(vec) == scalar
+
+    def test_multi_argument_hashing(self):
+        fn = MultiplyShiftHash(5)
+        assert fn(1, 2, width=1024) != fn(2, 1, width=1024)
+
+    def test_rough_uniformity(self):
+        fn = MultiplyShiftHash(9)
+        width = 64
+        counts = np.zeros(width)
+        for k in range(width * 200):
+            counts[fn(k, width=width)] += 1
+        # Each bucket within 3x of the mean — a coarse spread check.
+        assert counts.max() < 3 * counts.mean()
+        assert counts.min() > counts.mean() / 3
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            MultiplyShiftHash(1)(5, width=0)
+
+
+class TestCrc32:
+    def test_deterministic(self):
+        assert Crc32Hash(4)(123, width=100) == Crc32Hash(4)(123, width=100)
+
+    def test_seed_changes_output_somewhere(self):
+        outs = [
+            (Crc32Hash(1)(k, width=1 << 16), Crc32Hash(2)(k, width=1 << 16))
+            for k in range(64)
+        ]
+        assert any(a != b for a, b in outs)
+
+    def test_vector_matches_scalar(self):
+        fn = Crc32Hash(6)
+        keys = np.arange(0, 50)
+        assert list(fn.vector(keys, 97)) == [fn(int(k), width=97) for k in keys]
+
+
+class TestFamilyLookup:
+    def test_known_families(self):
+        assert hash_family("multiply-shift") is MultiplyShiftHash
+        assert hash_family("crc32") is Crc32Hash
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError, match="unknown hash family"):
+            hash_family("md5")

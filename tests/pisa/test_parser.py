@@ -1,0 +1,127 @@
+"""Packet parser/deparser tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pisa.parser import (
+    Deparser,
+    FieldSpec,
+    PacketParser,
+    ParseError,
+    ParseState,
+)
+
+
+def ipv4_tcp_bytes(src=0x0A000001, dst=0x0A000002, sport=1234, dport=80):
+    """Hand-build an Ethernet+IPv4+TCP header byte string."""
+    eth = (0xAABBCCDDEEFF).to_bytes(6, "big") + (0x112233445566).to_bytes(6, "big")
+    eth += (0x0800).to_bytes(2, "big")
+    ipv4 = bytes([0x45, 0x00]) + (40).to_bytes(2, "big")
+    ipv4 += (0).to_bytes(2, "big") + (0).to_bytes(2, "big")
+    ipv4 += bytes([64, 6]) + (0).to_bytes(2, "big")
+    ipv4 += src.to_bytes(4, "big") + dst.to_bytes(4, "big")
+    tcp = sport.to_bytes(2, "big") + dport.to_bytes(2, "big")
+    tcp += (0).to_bytes(4, "big") + (0).to_bytes(4, "big")
+    tcp += (0x5000).to_bytes(2, "big") + (0xFFFF).to_bytes(2, "big")
+    tcp += (0).to_bytes(2, "big") + (0).to_bytes(2, "big")
+    return eth + ipv4 + tcp
+
+
+class TestStockParser:
+    def test_parses_ethernet_ipv4_tcp(self):
+        parser = PacketParser.ethernet_ipv4()
+        packet = parser.parse(ipv4_tcp_bytes())
+        assert packet.fields["eth.ethertype"] == 0x0800
+        assert packet.fields["ipv4.version"] == 4
+        assert packet.fields["ipv4.protocol"] == 6
+        assert packet.fields["ipv4.src"] == 0x0A000001
+        assert packet.fields["tcp.sport"] == 1234
+        assert packet.fields["tcp.dport"] == 80
+        assert packet.fields["payload_len"] == 0
+
+    def test_udp_branch(self):
+        data = bytearray(ipv4_tcp_bytes())
+        data[23] = 17  # protocol = UDP
+        packet = PacketParser.ethernet_ipv4().parse(bytes(data[:42]))
+        assert "udp.sport" in packet.fields
+        assert "tcp.sport" not in packet.fields
+
+    def test_non_ip_stops_after_ethernet(self):
+        data = bytearray(ipv4_tcp_bytes())
+        data[12:14] = (0x0806).to_bytes(2, "big")  # ARP
+        packet = PacketParser.ethernet_ipv4().parse(bytes(data))
+        assert "ipv4.src" not in packet.fields
+        assert packet.fields["payload_len"] == len(data) - 14
+
+    def test_truncated_packet_rejected(self):
+        with pytest.raises(ParseError, match="truncated"):
+            PacketParser.ethernet_ipv4().parse(ipv4_tcp_bytes()[:20])
+
+    def test_payload_length(self):
+        packet = PacketParser.ethernet_ipv4().parse(ipv4_tcp_bytes() + b"abcd")
+        assert packet.fields["payload_len"] == 4
+
+
+class TestGraphValidation:
+    def test_unknown_start(self):
+        with pytest.raises(ParseError, match="unknown start"):
+            PacketParser([], start="nowhere")
+
+    def test_dangling_transition(self):
+        state = ParseState(
+            name="s", header="h", fields=[FieldSpec("x", 8)],
+            select_field="h.x", select={1: "ghost"},
+        )
+        with pytest.raises(ParseError, match="unknown state"):
+            PacketParser([state], start="s")
+
+    def test_loop_detected(self):
+        state = ParseState(
+            name="s", header="h", fields=[FieldSpec("x", 8)], default="s"
+        )
+        parser = PacketParser([state], start="s")
+        with pytest.raises(ParseError, match="did not terminate"):
+            parser.parse(bytes(64))
+
+
+class TestDeparser:
+    def test_round_trip(self):
+        data = ipv4_tcp_bytes()
+        parser = PacketParser.ethernet_ipv4()
+        packet = parser.parse(data)
+        assert Deparser(parser).emit(packet) == data
+
+    def test_round_trip_with_payload(self):
+        data = ipv4_tcp_bytes()
+        parser = PacketParser.ethernet_ipv4()
+        packet = parser.parse(data + b"xyz")
+        assert Deparser(parser).emit(packet, payload=b"xyz") == data + b"xyz"
+
+    def test_overrides_rewrite_fields(self):
+        parser = PacketParser.ethernet_ipv4()
+        packet = parser.parse(ipv4_tcp_bytes())
+        out = Deparser(parser).emit(packet, overrides={"ipv4.ttl": 9})
+        assert parser.parse(out).fields["ipv4.ttl"] == 9
+
+    def test_hdr_prefixed_overrides(self):
+        parser = PacketParser.ethernet_ipv4()
+        packet = parser.parse(ipv4_tcp_bytes())
+        out = Deparser(parser).emit(packet, overrides={"hdr.ipv4.ttl": 5})
+        assert parser.parse(out).fields["ipv4.ttl"] == 5
+
+    @given(st.binary(min_size=54, max_size=80))
+    def test_parse_emit_parse_fixpoint(self, data):
+        """For any bytes that parse, emit+parse is a fixpoint on fields."""
+        parser = PacketParser.ethernet_ipv4()
+        try:
+            packet = parser.parse(data)
+        except ParseError:
+            return
+        emitted = Deparser(parser).emit(packet)
+        reparsed = parser.parse(
+            emitted + bytes(max(0, packet.fields["payload_len"]))
+        )
+        for key, value in packet.fields.items():
+            if key == "payload_len":
+                continue
+            assert reparsed.fields[key] == value

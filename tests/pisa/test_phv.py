@@ -1,0 +1,71 @@
+"""PHV layout and per-packet instance tests."""
+
+import pytest
+
+from repro.pisa.phv import PhvError, PhvLayout
+
+
+class TestLayout:
+    def test_allocate_and_width(self):
+        layout = PhvLayout(128)
+        layout.allocate("meta.a", 32)
+        layout.allocate("meta.b", 9)
+        assert layout.width("meta.a") == 32
+        assert layout.used_bits == 41
+        assert "meta.a" in layout and "meta.c" not in layout
+
+    def test_budget_enforced(self):
+        layout = PhvLayout(40)
+        layout.allocate("meta.a", 32)
+        with pytest.raises(PhvError, match="PHV overflow"):
+            layout.allocate("meta.b", 16)
+
+    def test_duplicate_field_rejected(self):
+        layout = PhvLayout(64)
+        layout.allocate("x", 8)
+        with pytest.raises(PhvError, match="allocated twice"):
+            layout.allocate("x", 8)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(PhvError, match="width must be positive"):
+            PhvLayout(64).allocate("x", 0)
+
+
+class TestInstance:
+    def test_unset_fields_read_zero(self):
+        layout = PhvLayout(64)
+        layout.allocate("meta.a", 16)
+        phv = layout.instantiate()
+        assert phv.get("meta.a") == 0
+
+    def test_set_masks_to_width(self):
+        layout = PhvLayout(64)
+        layout.allocate("meta.a", 8)
+        phv = layout.instantiate()
+        phv.set("meta.a", 0x1234)
+        assert phv.get("meta.a") == 0x34
+
+    def test_unallocated_access_raises(self):
+        phv = PhvLayout(64).instantiate()
+        with pytest.raises(PhvError, match="never allocated"):
+            phv.get("ghost")
+        with pytest.raises(PhvError, match="never allocated"):
+            phv.set("ghost", 1)
+
+    def test_snapshot_is_isolated(self):
+        layout = PhvLayout(64)
+        layout.allocate("meta.a", 16)
+        phv = layout.instantiate()
+        phv.set("meta.a", 5)
+        snap = phv.snapshot()
+        phv.set("meta.a", 6)
+        assert snap["meta.a"] == 5
+
+    def test_bulk_load(self):
+        layout = PhvLayout(64)
+        layout.allocate("a", 8)
+        layout.allocate("b", 8)
+        phv = layout.instantiate()
+        phv.load({"a": 300, "b": 2})
+        assert phv.get("a") == 300 & 0xFF
+        assert phv.get("b") == 2

@@ -1,0 +1,65 @@
+"""Target specification tests."""
+
+import pytest
+
+from repro.pisa.resources import (
+    ActionCost,
+    TargetSpec,
+    get_target,
+    tofino,
+    toy_three_stage,
+)
+
+
+class TestTargets:
+    def test_tofino_matches_paper_parameters(self):
+        t = tofino()
+        # §6.2: S = 10, F = 4, L = 100, P = 4096; M = 1.75 Mb/stage.
+        assert t.stages == 10
+        assert t.stateful_alus_per_stage == 4
+        assert t.stateless_alus_per_stage == 100
+        assert t.phv_bits == 4096
+        assert t.memory_bits_per_stage == int(1.75 * (1 << 20))
+
+    def test_toy_matches_figure9_example(self):
+        t = toy_three_stage()
+        assert (t.stages, t.memory_bits_per_stage) == (3, 2048)
+        assert t.stateful_alus_per_stage == t.stateless_alus_per_stage == 2
+
+    def test_total_alus(self):
+        t = toy_three_stage()
+        assert t.total_alus == (2 + 2) * 3
+
+    def test_lookup_by_name(self):
+        assert get_target("tofino").name == "tofino"
+        assert get_target("toy3").stages == 3
+        with pytest.raises(KeyError, match="unknown target"):
+            get_target("trident")
+
+    def test_lookup_with_overrides(self):
+        assert get_target("tofino", stages=12).stages == 12
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError, match="must be positive"):
+            TargetSpec("bad", stages=0, memory_bits_per_stage=1,
+                       stateful_alus_per_stage=1, stateless_alus_per_stage=1,
+                       phv_bits=1)
+
+
+class TestAluCostModel:
+    def test_hf_counts_stateful_ops(self):
+        t = tofino()
+        assert t.hf(ActionCost(stateful_ops=2)) == 2
+        assert t.hf(ActionCost(stateless_ops=5)) == 0
+
+    def test_hl_counts_stateless_and_hash(self):
+        t = tofino()
+        assert t.hl(ActionCost(stateless_ops=2, hash_ops=1)) == 3
+
+    def test_cost_addition(self):
+        total = ActionCost(1, 2, 3) + ActionCost(4, 5, 6)
+        assert (total.stateful_ops, total.stateless_ops, total.hash_ops) == (5, 7, 9)
+
+    def test_describe_mentions_parameters(self):
+        text = tofino().describe()
+        assert "S=10" in text and "F=4" in text and "L=100" in text

@@ -1,0 +1,93 @@
+"""Match-action table semantics: exact, ternary, lpm."""
+
+import pytest
+
+from repro.pisa.tables import MatchActionTable, TableEntry, TableError
+
+
+def exact_table(**kwargs):
+    return MatchActionTable("t", ["dst"], ["exact"],
+                            default_action="miss", **kwargs)
+
+
+class TestExactMatch:
+    def test_hit_and_miss(self):
+        t = exact_table()
+        t.add_entry(TableEntry(match=(10,), action="fwd", action_data=(3,)))
+        hit = t.lookup([10])
+        assert hit.hit and hit.action == "fwd" and hit.action_data == (3,)
+        miss = t.lookup([11])
+        assert not miss.hit and miss.action == "miss"
+
+    def test_remove_entry(self):
+        t = exact_table()
+        t.add_entry(TableEntry(match=(10,), action="fwd"))
+        assert t.remove_entry((10,))
+        assert not t.lookup([10]).hit
+        assert not t.remove_entry((10,))
+
+    def test_capacity_enforced(self):
+        t = exact_table(size=2)
+        t.add_entry(TableEntry(match=(1,), action="a"))
+        t.add_entry(TableEntry(match=(2,), action="a"))
+        with pytest.raises(TableError, match="full"):
+            t.add_entry(TableEntry(match=(3,), action="a"))
+
+    def test_multi_field_exact(self):
+        t = MatchActionTable("t", ["src", "dst"], ["exact", "exact"])
+        t.add_entry(TableEntry(match=(1, 2), action="a"))
+        assert t.lookup([1, 2]).hit
+        assert not t.lookup([2, 1]).hit
+
+
+class TestTernaryMatch:
+    def test_mask_and_priority(self):
+        t = MatchActionTable("t", ["port"], ["ternary"])
+        t.add_entry(TableEntry(match=((0x80, 0x80),), action="high", priority=1))
+        t.add_entry(TableEntry(match=((0, 0),), action="any", priority=0))
+        assert t.lookup([0x81]).action == "high"
+        assert t.lookup([0x01]).action == "any"
+
+    def test_higher_priority_wins(self):
+        t = MatchActionTable("t", ["x"], ["ternary"])
+        t.add_entry(TableEntry(match=((5, 0xFF),), action="exactish", priority=10))
+        t.add_entry(TableEntry(match=((0, 0),), action="wild", priority=1))
+        assert t.lookup([5]).action == "exactish"
+
+
+class TestLpmMatch:
+    def test_longest_prefix_wins(self):
+        t = MatchActionTable("t", ["dst"], ["lpm"])
+        t.add_entry(TableEntry(match=((0x0A000000, 8),), action="coarse"))
+        t.add_entry(TableEntry(match=((0x0A010000, 16),), action="fine"))
+        assert t.lookup([0x0A01FFFF]).action == "fine"
+        assert t.lookup([0x0AFF0000]).action == "coarse"
+
+    def test_no_match_uses_default(self):
+        t = MatchActionTable("t", ["dst"], ["lpm"], default_action="drop")
+        t.add_entry(TableEntry(match=((0x0A000000, 8),), action="fwd"))
+        assert t.lookup([0x0B000000]).action == "drop"
+
+    def test_two_lpm_fields_rejected(self):
+        with pytest.raises(TableError, match="at most one lpm"):
+            MatchActionTable("t", ["a", "b"], ["lpm", "lpm"])
+
+
+class TestValidation:
+    def test_mismatched_keys_and_kinds(self):
+        with pytest.raises(TableError, match="differ in length"):
+            MatchActionTable("t", ["a"], ["exact", "exact"])
+
+    def test_unknown_match_kind(self):
+        with pytest.raises(TableError, match="unknown match kind"):
+            MatchActionTable("t", ["a"], ["range"])
+
+    def test_entry_width_checked(self):
+        t = exact_table()
+        with pytest.raises(TableError, match="match fields"):
+            t.add_entry(TableEntry(match=(1, 2), action="a"))
+
+    def test_lookup_width_checked(self):
+        t = exact_table()
+        with pytest.raises(TableError, match="lookup with"):
+            t.lookup([1, 2])

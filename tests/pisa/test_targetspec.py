@@ -1,0 +1,94 @@
+"""JSON target-specification tests."""
+
+import json
+
+import pytest
+
+from repro.pisa.resources import tofino
+from repro.pisa.targetspec import (
+    load_target,
+    save_target,
+    target_from_dict,
+    target_to_dict,
+)
+
+
+def minimal_spec(**overrides):
+    spec = {
+        "name": "custom",
+        "stages": 8,
+        "memory_bits_per_stage": 1 << 20,
+        "stateful_alus_per_stage": 4,
+        "stateless_alus_per_stage": 32,
+        "phv_bits": 2048,
+    }
+    spec.update(overrides)
+    return spec
+
+
+class TestDictConversion:
+    def test_minimal_spec(self):
+        target = target_from_dict(minimal_spec())
+        assert target.stages == 8
+        assert target.hash_units_per_stage == 8  # default preserved
+
+    def test_optional_fields(self):
+        target = target_from_dict(minimal_spec(hash_units_per_stage=2,
+                                               notes="lab switch"))
+        assert target.hash_units_per_stage == 2
+        assert target.notes == "lab switch"
+
+    def test_missing_field_rejected(self):
+        spec = minimal_spec()
+        del spec["phv_bits"]
+        with pytest.raises(ValueError, match="missing fields: phv_bits"):
+            target_from_dict(spec)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown fields: tcam"):
+            target_from_dict(minimal_spec(tcam=4))
+
+    def test_round_trip(self):
+        target = tofino()
+        assert target_from_dict(target_to_dict(target)) == target
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "spec.json"
+        save_target(tofino(), path)
+        assert load_target(path) == tofino()
+
+    def test_non_object_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValueError, match="JSON object"):
+            load_target(path)
+
+    def test_cli_target_file(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.structures import CMS_SOURCE
+
+        spec_path = tmp_path / "spec.json"
+        save_target(target_from_dict(minimal_spec(name="labsw")), spec_path)
+        prog = tmp_path / "cms.p4all"
+        prog.write_text(CMS_SOURCE)
+        assert main([
+            "compile", str(prog), "--target-file", str(spec_path)
+        ]) == 0
+        out, err = capsys.readouterr()
+        assert "labsw" in out  # target name in the generated header
+
+
+class TestCliGraph:
+    def test_dot_output(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.structures import CMS_SOURCE
+
+        prog = tmp_path / "cms.p4all"
+        prog.write_text(CMS_SOURCE)
+        assert main(["graph", str(prog), "--target", "toy3"]) == 0
+        out, _ = capsys.readouterr()
+        assert out.startswith("digraph")
+        assert "style=dashed" in out  # exclusion edges rendered
+        assert "cms_incr[0]" in out

@@ -1,0 +1,127 @@
+"""Count-min sketch: reference properties + simulator cross-validation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import compile_source
+from repro.pisa import Packet, Pipeline, small_target
+from repro.structures import CMS_SOURCE, CountMinSketch
+
+
+class TestReferenceProperties:
+    def test_never_underestimates(self):
+        cms = CountMinSketch(rows=3, cols=64)
+        truth = {}
+        rng = np.random.default_rng(1)
+        for key in rng.integers(1, 100, size=2000):
+            key = int(key)
+            cms.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert cms.estimate(key) >= count
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=300))
+    def test_overestimate_property(self, keys):
+        cms = CountMinSketch(rows=2, cols=32)
+        for key in keys:
+            cms.update(key)
+        for key in set(keys):
+            assert cms.estimate(key) >= keys.count(key)
+
+    def test_exact_when_no_collisions(self):
+        cms = CountMinSketch(rows=4, cols=4096)
+        for key in range(1, 5):
+            for _ in range(key):
+                cms.update(key)
+        for key in range(1, 5):
+            assert cms.estimate(key) == key
+
+    def test_update_returns_current_estimate(self):
+        cms = CountMinSketch(rows=3, cols=128)
+        assert cms.update(7) == 1
+        assert cms.update(7) == 2
+
+    def test_vectorized_matches_scalar(self):
+        keys = np.array([3, 7, 3, 9, 7, 3], dtype=np.int64)
+        a = CountMinSketch(rows=3, cols=64, seed_offset=5)
+        b = CountMinSketch(rows=3, cols=64, seed_offset=5)
+        a.update_many(keys)
+        for key in keys:
+            b.update(int(key))
+        assert np.array_equal(a.table, b.table)
+        assert list(a.estimate_many(np.array([3, 7, 9]))) == [
+            b.estimate(3), b.estimate(7), b.estimate(9),
+        ]
+
+    def test_error_bound_holds_with_margin(self):
+        # ε = e/cols; overestimate ≤ εN w.h.p. — test the aggregate.
+        cms = CountMinSketch(rows=4, cols=256)
+        rng = np.random.default_rng(2)
+        keys = rng.integers(1, 2000, size=5000)
+        cms.update_many(keys)
+        truth = {k: int(c) for k, c in
+                 zip(*np.unique(keys, return_counts=True))}
+        violations = sum(
+            1 for k, c in truth.items()
+            if cms.estimate(int(k)) - c > cms.error_bound()
+        )
+        # δ = e^-4 ≈ 1.8%; allow 5% of keys to exceed.
+        assert violations <= len(truth) * 0.05
+
+    def test_more_columns_reduce_error(self):
+        rng = np.random.default_rng(3)
+        keys = rng.integers(1, 3000, size=20000)
+        truth = {k: int(c) for k, c in zip(*np.unique(keys, return_counts=True))}
+
+        def total_error(cols):
+            cms = CountMinSketch(rows=2, cols=cols)
+            cms.update_many(keys)
+            return sum(cms.estimate(int(k)) - c for k, c in truth.items())
+
+        assert total_error(1024) <= total_error(64)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(rows=0, cols=10)
+
+    def test_memory_accounting(self):
+        assert CountMinSketch(rows=2, cols=100).memory_bits == 6400
+
+    def test_clear(self):
+        cms = CountMinSketch(rows=2, cols=16)
+        cms.update(1)
+        cms.clear()
+        assert cms.estimate(1) == 0
+        assert cms.items_seen == 0
+
+
+class TestPipelineCrossValidation:
+    """The compiled sketch and the reference must agree bit-for-bit."""
+
+    @pytest.fixture(scope="class")
+    def setup(self):
+        compiled = compile_source(
+            CMS_SOURCE, small_target(stages=6, memory_kb=32)
+        )
+        pipe = Pipeline(compiled)
+        rows = compiled.symbol_values["cms_rows"]
+        cols = compiled.symbol_values["cms_cols"]
+        ref = CountMinSketch(rows=rows, cols=cols, seed_offset=0)
+        return pipe, ref, rows
+
+    def test_counters_identical_after_trace(self, setup):
+        pipe, ref, rows = setup
+        rng = np.random.default_rng(9)
+        keys = [int(k) for k in rng.integers(1, 200, size=400)]
+        estimates = []
+        for key in keys:
+            result = pipe.process(Packet(fields={"flow_id": key}))
+            estimates.append(result.get("meta.cms_min"))
+        ref_estimates = [ref.update(key) for key in keys]
+        assert estimates == ref_estimates
+        for row in range(rows):
+            assert np.array_equal(
+                pipe.register_dump("cms_sketch", row), ref.table[row]
+            )

@@ -1,0 +1,84 @@
+"""Key-value store: reference semantics + simulator cross-validation."""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_source
+from repro.pisa import Packet, Pipeline, small_target
+from repro.structures import KV_SOURCE, KeyValueStore
+
+
+class TestReference:
+    def test_insert_lookup(self):
+        kv = KeyValueStore(rows=2, cols=64)
+        assert kv.insert(5, 500)
+        assert kv.lookup(5) == 500
+        assert kv.lookup(6) is None
+
+    def test_update_existing(self):
+        kv = KeyValueStore(rows=2, cols=64)
+        kv.insert(5, 500)
+        kv.insert(5, 501)
+        assert kv.lookup(5) == 501
+        assert kv.occupancy == 1
+
+    def test_evict(self):
+        kv = KeyValueStore(rows=2, cols=64)
+        kv.insert(5, 500)
+        assert kv.evict(5)
+        assert kv.lookup(5) is None
+        assert not kv.evict(5)
+
+    def test_collision_falls_to_next_row(self):
+        kv = KeyValueStore(rows=2, cols=1)  # row slot is always 0
+        assert kv.insert(1, 10)
+        assert kv.insert(2, 20)   # row 0 slot taken -> row 1
+        assert not kv.insert(3, 30)  # both rows taken
+        assert kv.lookup(1) == 10 and kv.lookup(2) == 20
+
+    def test_capacity_and_memory(self):
+        kv = KeyValueStore(rows=3, cols=100, value_slices=2)
+        assert kv.capacity == 300
+        assert kv.item_bits == 32 + 128
+        assert kv.memory_bits == 300 * 160
+
+    def test_keys_view(self):
+        kv = KeyValueStore(rows=2, cols=64)
+        kv.insert(5, 1)
+        kv.insert(9, 2)
+        assert kv.keys() == {5, 9}
+
+
+class TestPipelineCrossValidation:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        compiled = compile_source(KV_SOURCE, small_target(stages=8, memory_kb=64))
+        pipe = Pipeline(compiled)
+        rows = compiled.symbol_values["kv_rows"]
+        cols = compiled.symbol_values["kv_cols"]
+        ref = KeyValueStore(rows=rows, cols=cols, value_slices=1, seed_offset=100)
+        return pipe, ref, rows
+
+    def install(self, pipe, ref, key, value):
+        """Install through both the reference and the pipeline registers."""
+        assert ref.insert(key, value)
+        for row in range(ref.rows):
+            idx = ref.slot_of(row, key)
+            stored = int(pipe.registers.get(f"kv_keys[{row}]").read(idx))
+            if stored in (0, key):
+                pipe.registers.get(f"kv_keys[{row}]").write(idx, key)
+                pipe.registers.get(f"kv_val0[{row}]").write(idx, value)
+                return
+
+    def test_lookup_hits_match_reference(self, setup):
+        pipe, ref, _rows = setup
+        rng = np.random.default_rng(13)
+        hot = [int(k) for k in rng.integers(1, 1000, size=40)]
+        for key in hot:
+            self.install(pipe, ref, key, key * 3)
+        for key in hot + [2000, 2001]:
+            result = pipe.process(Packet(fields={"flow_id": key}))
+            expected = ref.lookup(key)
+            assert bool(result.get("meta.kv_hit")) == (expected is not None)
+            if expected is not None:
+                assert result.get("meta.kv_val") == expected

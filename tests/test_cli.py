@@ -1,0 +1,72 @@
+"""CLI tests (driving main() in-process)."""
+
+import pytest
+
+from repro.cli import main
+from repro.structures import CMS_SOURCE
+
+
+@pytest.fixture()
+def cms_file(tmp_path):
+    path = tmp_path / "cms.p4all"
+    path.write_text(CMS_SOURCE)
+    return path
+
+
+class TestCompileCommand:
+    def test_compile_to_stdout(self, cms_file, capsys):
+        code = main([
+            "compile", str(cms_file), "--target", "small",
+        ])
+        assert code == 0
+        out, err = capsys.readouterr()
+        assert "register<bit<32>>" in out
+        assert "cms_rows=" in err
+
+    def test_compile_to_file_with_report(self, cms_file, tmp_path, capsys):
+        out_path = tmp_path / "out.p4"
+        code = main([
+            "compile", str(cms_file), "--target", "small",
+            "-o", str(out_path), "--report",
+        ])
+        assert code == 0
+        assert out_path.exists()
+        _out, err = capsys.readouterr()
+        assert "stage 0" in err
+
+    def test_target_overrides(self, cms_file, capsys):
+        code = main([
+            "compile", str(cms_file), "--target", "toy3", "--stages", "5",
+        ])
+        assert code == 0
+
+    def test_error_reported_cleanly(self, tmp_path, capsys):
+        bad = tmp_path / "bad.p4all"
+        bad.write_text("symbolic int ;")
+        code = main(["compile", str(bad), "--target", "small"])
+        assert code == 1
+        _out, err = capsys.readouterr()
+        assert "error" in err
+
+
+class TestOtherCommands:
+    def test_bounds(self, cms_file, capsys):
+        assert main(["bounds", str(cms_file), "--target", "toy3"]) == 0
+        out, _ = capsys.readouterr()
+        assert "cms_rows: bound 2" in out
+
+    def test_targets(self, capsys):
+        assert main(["targets"]) == 0
+        out, _ = capsys.readouterr()
+        assert "tofino" in out and "toy3" in out
+
+    def test_library_list_and_dump(self, capsys):
+        assert main(["library"]) == 0
+        out, _ = capsys.readouterr()
+        assert "cms" in out and "bloom" in out
+        assert main(["library", "cms"]) == 0
+        out, _ = capsys.readouterr()
+        assert "symbolic int cms_rows;" in out
+
+    def test_library_unknown(self, capsys):
+        assert main(["library", "nope"]) == 2

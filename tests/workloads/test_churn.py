@@ -1,0 +1,43 @@
+"""Churning-Zipf workload tests."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.churn import ChurningZipf
+
+
+class TestChurningZipf:
+    def test_deterministic(self):
+        a = ChurningZipf(1000, phase_packets=100, seed=3).sample(500)
+        b = ChurningZipf(1000, phase_packets=100, seed=3).sample(500)
+        assert np.array_equal(a, b)
+
+    def test_rotations_counted(self):
+        gen = ChurningZipf(1000, phase_packets=100, seed=4)
+        gen.sample(450)
+        assert gen.rotations == 4
+
+    def test_hot_set_changes_after_rotation(self):
+        gen = ChurningZipf(5000, phase_packets=100, churn=0.5,
+                           hot_ranks=100, seed=5)
+        before = set(int(k) for k in gen.hottest(100))
+        gen.sample(100)  # triggers one rotation
+        after = set(int(k) for k in gen.hottest(100))
+        assert before != after
+        # Roughly half the hot set survived.
+        assert len(before & after) >= 20
+
+    def test_zero_churn_is_stable(self):
+        gen = ChurningZipf(1000, phase_packets=50, churn=0.0, seed=6)
+        before = list(gen.hottest(50))
+        gen.sample(500)
+        assert list(gen.hottest(50)) == before
+
+    def test_keys_stay_in_universe(self):
+        gen = ChurningZipf(200, phase_packets=64, seed=7)
+        keys = gen.sample(1000)
+        assert keys.min() >= 1 and keys.max() <= 200
+
+    def test_invalid_churn(self):
+        with pytest.raises(ValueError):
+            ChurningZipf(100, churn=1.5)
