@@ -1,0 +1,81 @@
+"""Elastic runtime — reconfiguration latency and migration loss.
+
+Benchmarks the full monitor → recompile → migrate → validate → hot-swap
+cycle on the memory-cut scenario and emits ``BENCH_runtime.json`` with
+the headline numbers:
+
+* ``reconfig_seconds`` — wall-clock of the committed reconfiguration
+  (planning dominates: the layout ILP re-solve);
+* ``plan/migrate breakdown`` — compile phase timings from telemetry;
+* ``kv_loss_fraction`` — cache entries dropped by the shrink;
+* ``recovery_ratio`` — post-swap steady hit rate vs the pre-cut
+  baseline, for the migrated and the cold swap.
+"""
+
+import json
+from pathlib import Path
+
+from repro.eval import RuntimeScenario, run_elastic_runtime
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_runtime.json"
+
+
+def _run():
+    return run_elastic_runtime(RuntimeScenario())
+
+
+def test_runtime_reconfig(benchmark):
+    comparison = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(comparison.format())
+
+    migrated, cold = comparison.outcomes
+    assert migrated.label == "migrated" and cold.label == "cold"
+
+    # The reconfiguration committed via the ILP and completed promptly
+    # (seconds, not minutes — it is an online control-plane operation).
+    assert migrated.backend == "ilp"
+    assert 0.0 < migrated.reconfig_seconds < 60.0
+
+    # Migration moved most of the cache; the loss is the shrink's fault,
+    # not the migrator's (the new cache is half the size).
+    assert migrated.kv_entries_old > 0
+    assert migrated.kv_migrated > 0
+    assert 0.0 <= migrated.kv_loss < 1.0
+
+    # Acceptance: the migrated swap recovers to within 10% of the
+    # pre-cut steady state.
+    assert migrated.recovery >= 0.9
+
+    # Migration is what keeps the first post-swap window warm: the cold
+    # swap's first window is visibly worse.
+    assert migrated.post_swap_first_window > cold.post_swap_first_window
+
+    payload = {
+        "scenario": {
+            "stages": comparison.scenario.stages,
+            "memory_bits_per_stage": comparison.scenario.memory_bits_per_stage,
+            "cut_memory_bits": comparison.scenario.cut_memory_bits,
+            "packets": comparison.scenario.packets,
+            "cut_at": comparison.scenario.cut_at,
+        },
+        "reconfig_seconds": migrated.reconfig_seconds,
+        "backend": migrated.backend,
+        "kv_entries_old": migrated.kv_entries_old,
+        "kv_migrated": migrated.kv_migrated,
+        "kv_loss_fraction": migrated.kv_loss,
+        "migrated": {
+            "baseline_rate": migrated.baseline_rate,
+            "post_swap_first_window": migrated.post_swap_first_window,
+            "post_swap_steady": migrated.post_swap_steady,
+            "recovery_ratio": migrated.recovery,
+        },
+        "cold": {
+            "baseline_rate": cold.baseline_rate,
+            "post_swap_first_window": cold.post_swap_first_window,
+            "post_swap_steady": cold.post_swap_steady,
+            "recovery_ratio": cold.recovery,
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")

@@ -128,11 +128,15 @@ class NetCacheApp:
         options: CompileOptions | None = None,
         kv_min_total_bits: int | None = None,
         source: str | None = None,
+        compiled: CompiledProgram | None = None,
     ):
+        """Pass ``compiled`` to load an existing artifact instead of
+        compiling — the elastic runtime compiles through its planner
+        (with timeout fallback) and hands the artifact in here."""
         self.source = source or netcache_source(
             utility=utility, kv_min_total_bits=kv_min_total_bits
         )
-        self.compiled: CompiledProgram = compile_source(
+        self.compiled: CompiledProgram = compiled or compile_source(
             self.source, target, options=options, source_name="netcache"
         )
         self.pipeline = Pipeline(self.compiled)
@@ -190,6 +194,40 @@ class NetCacheApp:
     def value_of(self, key: int) -> int:
         """The backing store's value for a key (synthetic: key + 7)."""
         return (key + 7) & ((1 << 64) - 1)
+
+    # -- control-plane introspection (used by the elastic runtime) --------------
+    @property
+    def cache_capacity(self) -> int:
+        return self.kv_rows * self.kv_cols
+
+    def kv_occupancy(self) -> float:
+        """Fraction of key slots holding a cached entry."""
+        occupied = sum(
+            self.pipeline.registers.get(f"kv_keys[{row}]").nonzero_cells()
+            for row in range(self.kv_rows)
+        )
+        return occupied / self.cache_capacity if self.cache_capacity else 0.0
+
+    def cached_entries(self) -> list[tuple[int, int, int]]:
+        """All cached ``(row, key, value)`` triples, read from the data
+        plane's registers (the migrator's export view of the cache)."""
+        entries: list[tuple[int, int, int]] = []
+        for row in range(self.kv_rows):
+            keys = self.pipeline.registers.get(f"kv_keys[{row}]").dump()
+            vals = self.pipeline.registers.get(f"kv_val0[{row}]").dump()
+            for idx in keys.nonzero()[0]:
+                entries.append((row, int(keys[idx]), int(vals[idx])))
+        return entries
+
+    def install(self, key: int, value: int) -> bool:
+        """Install ``key`` into the first row with a free candidate slot
+        (control-plane insertion, no eviction). Returns success."""
+        for row in range(self.kv_rows):
+            if self._slot_key(row, key) == 0:
+                self._write_slot(row, key, value)
+                self._cached_keys.add(key)
+                return True
+        return False
 
     # -- trace processing -------------------------------------------------------
     def run_trace(self, keys, dst: int = 1) -> NetCacheStats:

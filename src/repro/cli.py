@@ -4,8 +4,15 @@ Subcommands::
 
     p4all compile prog.p4all --target tofino [-o out.p4] [--report]
     p4all bounds  prog.p4all --target tofino     # unroll bounds only
+    p4all graph   prog.p4all                     # dependency graph (DOT)
+    p4all run     [--packets N] [--cut-at N]     # elastic runtime demo
     p4all targets                                # list target specs
     p4all library [name]                         # dump library module source
+
+Every program-compiling subcommand accepts the same solver flags:
+``--backend`` (``auto``/``scipy``/``bb``/``greedy``) and
+``--time-limit`` (seconds; expiry degrades structuredly instead of
+failing opaquely).
 """
 
 from __future__ import annotations
@@ -40,6 +47,31 @@ def _add_target_arg(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_solver_args(parser: argparse.ArgumentParser) -> None:
+    """Uniform layout-solver flags, shared by every subcommand that can
+    compile a program."""
+    parser.add_argument(
+        "--backend", default="auto",
+        choices=["auto", "scipy", "bb", "greedy"],
+        help="layout backend: auto (prefer HiGHS), scipy, bb, or the "
+             "greedy first-fit heuristic (default: auto)",
+    )
+    parser.add_argument(
+        "--time-limit", type=float, default=None, metavar="SECONDS",
+        help="ILP solver time limit in seconds; on expiry the best "
+             "incumbent is used, or a structured timeout is raised "
+             "(default: no limit)",
+    )
+
+
+def _compile_options(args) -> "CompileOptions":
+    return CompileOptions(
+        entry=getattr(args, "entry", "Ingress"),
+        backend=args.backend,
+        time_limit=args.time_limit,
+    )
+
+
 def _resolve_target(args):
     import dataclasses
 
@@ -61,8 +93,7 @@ def _resolve_target(args):
 
 def _cmd_compile(args) -> int:
     target = _resolve_target(args)
-    options = CompileOptions(entry=args.entry, backend=args.backend)
-    compiled = compile_file(args.program, target, options=options)
+    compiled = compile_file(args.program, target, options=_compile_options(args))
     if args.output:
         Path(args.output).write_text(compiled.p4_source)
         print(f"wrote {args.output}")
@@ -103,6 +134,58 @@ def _cmd_graph(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    import dataclasses
+    import json
+
+    from .runtime import ElasticRuntime, ReconfigPlanner, RuntimeConfig, TelemetryBus
+    from .workloads.churn import ChurningZipf
+
+    target = _resolve_target(args)
+    telemetry = TelemetryBus(sink=args.events)
+    planner = ReconfigPlanner(
+        options=_compile_options(args),
+        telemetry=telemetry,
+        max_retries=args.max_retries,
+    )
+    config = RuntimeConfig(
+        window_packets=args.window,
+        hot_threshold=args.hot_threshold,
+        migrate_state=not args.no_migrate,
+    )
+    print(f"compiling NetCache for {target.describe()}", file=sys.stderr)
+    runtime = ElasticRuntime(
+        target, config=config, telemetry=telemetry, planner=planner
+    )
+    stream = ChurningZipf(
+        args.universe,
+        alpha=args.alpha,
+        phase_packets=args.phase_packets,
+        churn=args.churn,
+        hot_ranks=args.hot_ranks,
+        seed=args.seed,
+    )
+    if not args.no_cut:
+        cut_at = args.cut_at if args.cut_at is not None else args.packets // 2
+        cut_bits = (args.cut_memory if args.cut_memory is not None
+                    else target.memory_bits_per_stage // 2)
+        runtime.schedule_target_change(
+            cut_at, dataclasses.replace(target, memory_bits_per_stage=cut_bits)
+        )
+        print(f"scheduled memory cut to {cut_bits} bits/stage at packet "
+              f"{cut_at}", file=sys.stderr)
+
+    report = runtime.run(stream, packets=args.packets)
+    print(report.format())
+    fallbacks = telemetry.events_of("ilp_fallback")
+    if fallbacks:
+        print(f"  ILP->greedy fallbacks: {len(fallbacks)}")
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_targets(_args) -> int:
     for name in sorted(TARGETS):
         print(get_target(name).describe())
@@ -136,17 +219,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("program", help="path to the .p4all source")
     p_compile.add_argument("-o", "--output", help="output .p4 path (default: stdout)")
     p_compile.add_argument("--entry", default="Ingress", help="ingress control name")
-    p_compile.add_argument("--backend", default="auto",
-                           help="ILP backend: auto, scipy, bb")
     p_compile.add_argument("--report", action="store_true",
                            help="print the per-stage layout report")
     _add_target_arg(p_compile)
+    _add_solver_args(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
     p_bounds = sub.add_parser("bounds", help="show loop-unrolling upper bounds")
     p_bounds.add_argument("program")
     p_bounds.add_argument("--entry", default="Ingress")
     _add_target_arg(p_bounds)
+    _add_solver_args(p_bounds)
     p_bounds.set_defaults(func=_cmd_bounds)
 
     p_graph = sub.add_parser(
@@ -157,7 +240,54 @@ def build_parser() -> argparse.ArgumentParser:
     p_graph.add_argument("--unroll", type=int, default=None,
                          help="override the iteration count for all loops")
     _add_target_arg(p_graph)
+    _add_solver_args(p_graph)
     p_graph.set_defaults(func=_cmd_graph)
+
+    p_run = sub.add_parser(
+        "run",
+        help="drive the elastic runtime: NetCache under a churning Zipf "
+             "stream with a mid-run memory cut, online recompile + state "
+             "migration + hot swap",
+    )
+    p_run.add_argument("--packets", type=int, default=16_000,
+                       help="total packets to process (default: 16000)")
+    p_run.add_argument("--window", type=int, default=500,
+                       help="monitoring window in packets (default: 500)")
+    p_run.add_argument("--universe", type=int, default=2000,
+                       help="key universe size (default: 2000)")
+    p_run.add_argument("--alpha", type=float, default=1.25,
+                       help="Zipf skew (default: 1.25)")
+    p_run.add_argument("--churn", type=float, default=0.2,
+                       help="hot-set fraction rotated per phase (default: 0.2)")
+    p_run.add_argument("--phase-packets", type=int, default=4000,
+                       help="packets per churn phase (default: 4000)")
+    p_run.add_argument("--hot-ranks", type=int, default=200,
+                       help="hot-set size subject to churn (default: 200)")
+    p_run.add_argument("--seed", type=int, default=42,
+                       help="workload seed (default: 42)")
+    p_run.add_argument("--hot-threshold", type=int, default=4,
+                       help="sketch estimate that promotes a key (default: 4)")
+    p_run.add_argument("--cut-at", type=int, default=None,
+                       help="packet index of the memory cut "
+                            "(default: packets/2)")
+    p_run.add_argument("--cut-memory", type=int, default=None, metavar="BITS",
+                       help="per-stage memory after the cut "
+                            "(default: half the target's)")
+    p_run.add_argument("--no-cut", action="store_true",
+                       help="run without the scheduled memory cut")
+    p_run.add_argument("--no-migrate", action="store_true",
+                       help="swap without migrating register state "
+                            "(cold-start comparison)")
+    p_run.add_argument("--max-retries", type=int, default=1,
+                       help="ILP retries (with backoff) before the greedy "
+                            "fallback (default: 1)")
+    p_run.add_argument("--events", default=None, metavar="PATH",
+                       help="stream telemetry events to a JSONL file")
+    p_run.add_argument("--json", default=None, metavar="PATH",
+                       help="write the run report as JSON")
+    _add_target_arg(p_run)
+    _add_solver_args(p_run)
+    p_run.set_defaults(func=_cmd_run)
 
     p_targets = sub.add_parser("targets", help="list known target specifications")
     p_targets.set_defaults(func=_cmd_targets)

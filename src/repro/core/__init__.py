@@ -12,8 +12,18 @@ Public entry points:
 """
 
 from .codegen import generate_p4
-from .driver import CompileOptions, compile_file, compile_source
-from .errors import CompileError, LayoutInfeasibleError, UtilityError
+from .driver import (
+    CompileOptions,
+    compile_file,
+    compile_source,
+    compile_source_greedy,
+)
+from .errors import (
+    CompileError,
+    LayoutInfeasibleError,
+    LayoutTimeoutError,
+    UtilityError,
+)
 from .greedy import GreedyResult, greedy_layout
 from .layout import LayoutBuilder, LayoutModel, LayoutOptions, LayoutSolution
 from .program import CompiledProgram, CompileStats, PlacedUnit, RegisterAlloc
@@ -26,8 +36,10 @@ __all__ = [
     "CompileOptions",
     "compile_file",
     "compile_source",
+    "compile_source_greedy",
     "CompileError",
     "LayoutInfeasibleError",
+    "LayoutTimeoutError",
     "UtilityError",
     "GreedyResult",
     "greedy_layout",

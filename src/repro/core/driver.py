@@ -11,6 +11,14 @@
 Phase timings are recorded in :class:`CompileStats` — §6.1 reports that
 compile time is dominated by ILP solving, which the Figure-11 benchmark
 verifies.
+
+Besides the exact ILP backends (``auto``/``scipy``/``bb``), the driver
+accepts ``backend="greedy"``: the same front end feeding
+:func:`~repro.core.greedy.greedy_layout` instead of the ILP. The result
+is a fully assembled :class:`CompiledProgram` (loadable into the PISA
+simulator, validated by :func:`~repro.core.validate.validate_layout`)
+whose solution carries ``status=FEASIBLE`` — the degraded-but-safe
+artifact the elastic runtime falls back to when the ILP times out.
 """
 
 from __future__ import annotations
@@ -21,13 +29,20 @@ from pathlib import Path
 from ..analysis import build_ir, compute_upper_bounds
 from ..analysis.unroll import UnrollOptions
 from ..lang import check_program, parse_program
+from ..lang.symbols import eval_static
+from ..ilp import SolveStatus
 from ..pisa.resources import TargetSpec
 from .codegen import generate_p4
 from .errors import CompileError
-from .layout import LayoutBuilder, LayoutOptions
+from .layout import LayoutBuilder, LayoutOptions, LayoutSolution
 from .program import CompiledProgram, CompileStats, PlacedUnit, RegisterAlloc
 
-__all__ = ["compile_source", "compile_file", "CompileOptions"]
+__all__ = [
+    "compile_source",
+    "compile_file",
+    "compile_source_greedy",
+    "CompileOptions",
+]
 
 
 class CompileOptions:
@@ -43,6 +58,8 @@ class CompileOptions:
         verify: bool = True,
     ):
         self.entry = entry
+        #: ILP backend (``auto``/``scipy``/``bb``) or ``greedy`` for the
+        #: first-fit heuristic layout (no ILP at all).
         self.backend = backend
         self.time_limit = time_limit
         self.layout = layout or LayoutOptions()
@@ -54,16 +71,8 @@ class CompileOptions:
         self.verify = verify
 
 
-def compile_source(
-    source: str,
-    target: TargetSpec,
-    options: CompileOptions | None = None,
-    source_name: str = "<string>",
-) -> CompiledProgram:
-    """Compile a P4All program for ``target``; returns the full artifact."""
-    options = options or CompileOptions()
-    stats = CompileStats()
-
+def _run_frontend(source, target, options, source_name, stats):
+    """Phases 1-3: parse, check, build IR, compute unroll bounds."""
     t0 = time.perf_counter()
     program = parse_program(source, source_name)
     info = check_program(program)
@@ -73,36 +82,22 @@ def compile_source(
     ir = build_ir(info, options.entry)
     bounds = compute_upper_bounds(ir, target, options.unroll)
     stats.analysis_seconds = time.perf_counter() - t0
+    return program, info, ir, bounds
+
+
+def _assemble(
+    compiled: CompiledProgram,
+    instances,
+    solution,
+    options: CompileOptions,
+) -> CompiledProgram:
+    """Phase 5: placed units, register allocation, codegen, verification."""
+    info = compiled.info
+    stats = compiled.stats
 
     t0 = time.perf_counter()
-    builder = LayoutBuilder(ir, bounds, target, options.layout)
-    lm = builder.build()
-    stats.ilp_build_seconds = time.perf_counter() - t0
-    stats.ilp_variables = lm.model.num_variables
-    stats.ilp_constraints = lm.model.num_constraints
-
-    optimize = program.optimize()
-    utility = optimize.utility if optimize is not None else None
-    solution = builder.solve(
-        utility=utility, backend=options.backend, time_limit=options.time_limit
-    )
-    stats.ilp_solve_seconds = solution.solve_seconds
-    # Constraints may have been added during utility linearization.
-    stats.ilp_variables = lm.model.num_variables
-    stats.ilp_constraints = lm.model.num_constraints
-
-    t0 = time.perf_counter()
-    compiled = CompiledProgram(
-        source_name=source_name,
-        target=target,
-        info=info,
-        ir=ir,
-        bounds=bounds,
-        solution=solution,
-        stats=stats,
-    )
     # Placed units: active instances with a stage, in (stage, order) order.
-    for inst in lm.instances:
+    for inst in instances:
         stage = solution.instance_stage.get(inst.uid)
         if stage is None:
             continue
@@ -130,8 +125,9 @@ def compile_source(
         # §7 verification: every elastic-array index provably in bounds
         # at the chosen symbolic values.
         check_index_bounds(
-            ir,
-            {sym: compiled.symbol_values.get(sym, 1) for sym in bounds.as_counts()},
+            compiled.ir,
+            {sym: compiled.symbol_values.get(sym, 1)
+             for sym in compiled.bounds.as_counts()},
         )
 
         validate_layout(
@@ -140,6 +136,111 @@ def compile_source(
             table_memory=options.layout.table_memory,
         )
     return compiled
+
+
+def compile_source(
+    source: str,
+    target: TargetSpec,
+    options: CompileOptions | None = None,
+    source_name: str = "<string>",
+) -> CompiledProgram:
+    """Compile a P4All program for ``target``; returns the full artifact."""
+    options = options or CompileOptions()
+    if options.backend == "greedy":
+        return compile_source_greedy(source, target, options, source_name)
+    stats = CompileStats()
+    program, info, ir, bounds = _run_frontend(
+        source, target, options, source_name, stats
+    )
+
+    t0 = time.perf_counter()
+    builder = LayoutBuilder(ir, bounds, target, options.layout)
+    lm = builder.build()
+    stats.ilp_build_seconds = time.perf_counter() - t0
+    stats.ilp_variables = lm.model.num_variables
+    stats.ilp_constraints = lm.model.num_constraints
+
+    optimize = program.optimize()
+    utility = optimize.utility if optimize is not None else None
+    solution = builder.solve(
+        utility=utility, backend=options.backend, time_limit=options.time_limit
+    )
+    stats.ilp_solve_seconds = solution.solve_seconds
+    # Constraints may have been added during utility linearization.
+    stats.ilp_variables = lm.model.num_variables
+    stats.ilp_constraints = lm.model.num_constraints
+
+    compiled = CompiledProgram(
+        source_name=source_name,
+        target=target,
+        info=info,
+        ir=ir,
+        bounds=bounds,
+        solution=solution,
+        stats=stats,
+    )
+    return _assemble(compiled, lm.instances, solution, options)
+
+
+def compile_source_greedy(
+    source: str,
+    target: TargetSpec,
+    options: CompileOptions | None = None,
+    source_name: str = "<string>",
+) -> CompiledProgram:
+    """Compile with the greedy first-fit layout instead of the ILP.
+
+    Same front end, codegen, and verification as :func:`compile_source`;
+    only the layout phase differs. Used directly and as the elastic
+    runtime's fallback when the ILP backend hits its time limit.
+    """
+    from .greedy import greedy_layout
+
+    options = options or CompileOptions()
+    stats = CompileStats()
+    program, info, ir, bounds = _run_frontend(
+        source, target, options, source_name, stats
+    )
+
+    t0 = time.perf_counter()
+    result = greedy_layout(ir, bounds, target)
+    stats.ilp_solve_seconds = time.perf_counter() - t0
+
+    iteration_active = {
+        (inst.symbolic, inst.iteration): result.instance_stage[inst.uid] is not None
+        for inst in result.instances
+        if inst.symbolic is not None
+    }
+    optimize = program.optimize()
+    objective = 0.0
+    if optimize is not None:
+        env: dict[str, float] = dict(info.consts)
+        env.update(result.symbol_values)
+        objective = float(eval_static(optimize.utility, env))
+    solution = LayoutSolution(
+        status=SolveStatus.FEASIBLE,
+        objective=objective,
+        symbol_values=result.symbol_values,
+        node_stage={},
+        instance_stage=result.instance_stage,
+        register_alloc=result.register_alloc,
+        iteration_active=iteration_active,
+        solve_seconds=stats.ilp_solve_seconds,
+        backend="greedy",
+        num_variables=0,
+        num_constraints=0,
+    )
+
+    compiled = CompiledProgram(
+        source_name=source_name,
+        target=target,
+        info=info,
+        ir=ir,
+        bounds=bounds,
+        solution=solution,
+        stats=stats,
+    )
+    return _assemble(compiled, result.instances, solution, options)
 
 
 def compile_file(

@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
-__all__ = ["CompileError", "LayoutInfeasibleError", "UtilityError"]
+__all__ = [
+    "CompileError",
+    "LayoutInfeasibleError",
+    "LayoutTimeoutError",
+    "UtilityError",
+]
 
 
 class CompileError(Exception):
@@ -11,6 +16,23 @@ class CompileError(Exception):
 
 class LayoutInfeasibleError(CompileError):
     """The layout ILP is infeasible: the program cannot fit at any size."""
+
+
+class LayoutTimeoutError(CompileError):
+    """The ILP solver hit its time limit without finding any incumbent.
+
+    Structured so callers (the compile driver, the elastic runtime's
+    reconfiguration planner) can catch it and fall back — retry with a
+    larger limit, or degrade to the greedy layout — without
+    string-matching error messages. ``time_limit`` and ``backend`` record
+    the solve attempt that expired.
+    """
+
+    def __init__(self, message: str, time_limit: float | None = None,
+                 backend: str = ""):
+        super().__init__(message)
+        self.time_limit = time_limit
+        self.backend = backend
 
 
 class UtilityError(CompileError):

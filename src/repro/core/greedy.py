@@ -43,6 +43,10 @@ class GreedyResult:
     register_alloc: dict[tuple[str, int], tuple[int, int]]  # (fam, idx) -> (stage, cells)
     placed_count: int = 0
     dropped_count: int = 0
+    #: the action instances the layout was computed over (uids match
+    #: ``instance_stage``), so callers can assemble a CompiledProgram
+    #: without re-instantiating.
+    instances: list = field(default_factory=list)
 
     def utility_value(self, utility: ast.Expr, consts: dict[str, int]) -> float:
         """Evaluate the utility function at the greedy symbolic values."""
@@ -161,10 +165,25 @@ def greedy_layout(
                 reg_stage[reg] = stage
                 stage_regs.setdefault(stage, []).append(reg)
 
-    # Equal split of stage memory by cell width.
+    # Table SRAM placed in a stage comes out of the same M budget the
+    # registers draw from (the ILP's constraint #8 with the §4.4 table
+    # extension), so reserve it before splitting.
+    from .tablemem import table_memory_bits
+
+    table_bits_in_stage: dict[int, int] = {}
+    for inst in instances:
+        stage = instance_stage[inst.uid]
+        if stage is None or inst.table is None:
+            continue
+        table_bits_in_stage[stage] = table_bits_in_stage.get(stage, 0) + (
+            table_memory_bits(info.tables[inst.table], info)
+        )
+
+    # Equal split of the remaining stage memory by cell width.
     share_cells: dict[tuple[str, int], int] = {}
     for stage, regs in stage_regs.items():
-        per_reg_bits = target.memory_bits_per_stage // max(len(regs), 1)
+        budget = target.memory_bits_per_stage - table_bits_in_stage.get(stage, 0)
+        per_reg_bits = max(budget, 0) // max(len(regs), 1)
         for fam, idx in regs:
             width = info.registers[fam].cell_bits
             share_cells[(fam, idx)] = max(per_reg_bits // width, 0)
@@ -203,4 +222,5 @@ def greedy_layout(
         register_alloc=register_alloc,
         placed_count=placed,
         dropped_count=len(instance_stage) - placed,
+        instances=instances,
     )

@@ -45,7 +45,12 @@ from ..lang.errors import SemanticError
 from ..lang.symbols import eval_static
 from ..ilp import LinExpr, Model, Solution, SolveStatus, VarType, solve
 from ..pisa.resources import TargetSpec
-from .errors import CompileError, LayoutInfeasibleError, UtilityError
+from .errors import (
+    CompileError,
+    LayoutInfeasibleError,
+    LayoutTimeoutError,
+    UtilityError,
+)
 
 __all__ = ["LayoutBuilder", "LayoutModel", "LayoutSolution", "RegisterFamily",
            "LayoutOptions"]
@@ -651,6 +656,13 @@ class LayoutBuilder:
             raise LayoutInfeasibleError(
                 "the layout ILP is infeasible: the program cannot fit on "
                 f"target {self.target.name!r} at any size"
+            )
+        if solution.status is SolveStatus.TIMEOUT and not solution.has_incumbent:
+            raise LayoutTimeoutError(
+                f"the layout ILP hit its time limit ({time_limit}s) on "
+                f"target {self.target.name!r} before finding any incumbent",
+                time_limit=time_limit,
+                backend=solution.backend,
             )
         return self._decode(solution)
 

@@ -8,6 +8,7 @@ fig09_unroll   loop-unrolling bound on the worked example (Figure 9)
 fig11_apps     LoC / compile time / ILP size per application (Figure 11)
 fig12_elastic  structure sizes as per-stage memory grows (Figure 12)
 fig13_utility  utility-function choice flips the split (Figure 13)
+runtime        online reconfiguration under churn (elastic runtime)
 ablations      greedy vs ILP, exclusion handling, bound tightness, solvers
 =============  ============================================================
 """
@@ -34,6 +35,12 @@ from .fig13_utility import (
     UtilityComparison,
     UtilityOutcome,
     run_utility_comparison,
+)
+from .runtime_elastic import (
+    RuntimeComparison,
+    RuntimeScenario,
+    ScenarioOutcome,
+    run_elastic_runtime,
 )
 from .tables import render_table
 
@@ -68,5 +75,9 @@ __all__ = [
     "UtilityComparison",
     "UtilityOutcome",
     "run_utility_comparison",
+    "RuntimeComparison",
+    "RuntimeScenario",
+    "ScenarioOutcome",
+    "run_elastic_runtime",
     "render_table",
 ]

@@ -57,6 +57,12 @@ def _fig13():
     return run_utility_comparison().format()
 
 
+def _runtime():
+    from .runtime_elastic import run_elastic_runtime
+
+    return run_elastic_runtime().format()
+
+
 def _ablations():
     from ..apps import netcache_source
     from ..pisa.resources import small_target, tofino
@@ -88,6 +94,7 @@ EXPERIMENTS = {
     "fig11": ("Figure 11 — application table", _fig11),
     "fig12": ("Figure 12 — memory elasticity", _fig12),
     "fig13": ("Figure 13 — utility choice", _fig13),
+    "runtime": ("Elastic runtime — online memory-cut recovery", _runtime),
     "ablations": ("Design-choice ablations", _ablations),
 }
 

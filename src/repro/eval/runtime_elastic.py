@@ -1,0 +1,183 @@
+"""Elastic runtime — online reconfiguration under churn (new subsystem).
+
+The paper's elasticity story is compile-time: the ILP restretches the
+program when the target changes. This experiment closes the loop at
+*run time*: a NetCache pipeline serves a churning Zipf stream, the
+operator cuts per-stage memory mid-run, and the
+:class:`~repro.runtime.ElasticRuntime` detects the change, recompiles,
+migrates register state onto the shrunken layout, validates, and
+hot-swaps — without ever leaving the pipeline unconfigured.
+
+The experiment runs the identical scenario twice — once with state
+migration, once with a cold swap — and reports the post-swap recovery
+of the cache hit rate in each case. The headline numbers:
+
+* ``recovery`` — post-swap steady hit rate / pre-cut steady baseline
+  (the acceptance bar is >= 0.9 with migration: the smaller cache
+  holds a bit less of the hot set, so ~1.0 is not expected);
+* ``first-window`` — the hit rate in the first window *after* the
+  swap, where migration vs cold start differ most;
+* ``reconfig time`` — wall-clock of the full plan→migrate→validate→swap
+  cycle, and the migration's entry loss.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..pisa.resources import TargetSpec, tofino
+from ..workloads.churn import ChurningZipf
+from .tables import render_table
+
+__all__ = ["RuntimeScenario", "ScenarioOutcome", "RuntimeComparison",
+           "run_elastic_runtime"]
+
+
+@dataclass(frozen=True)
+class RuntimeScenario:
+    """One run-time elasticity scenario: serve, cut memory, recover."""
+
+    stages: int = 6
+    memory_bits_per_stage: int = 64 * 1024
+    cut_memory_bits: int = 32 * 1024
+    packets: int = 12_000
+    cut_at: int = 6_000
+    window_packets: int = 500
+    universe: int = 2_000
+    alpha: float = 1.3
+    churn: float = 0.2
+    phase_packets: int = 4_000
+    hot_ranks: int = 200
+    seed: int = 11
+
+    def target(self) -> TargetSpec:
+        return dataclasses.replace(
+            tofino(), stages=self.stages,
+            memory_bits_per_stage=self.memory_bits_per_stage,
+        )
+
+    def cut_target(self) -> TargetSpec:
+        return dataclasses.replace(
+            self.target(), memory_bits_per_stage=self.cut_memory_bits,
+        )
+
+    def stream(self) -> ChurningZipf:
+        return ChurningZipf(
+            self.universe, alpha=self.alpha,
+            phase_packets=self.phase_packets, churn=self.churn,
+            hot_ranks=self.hot_ranks, seed=self.seed,
+        )
+
+
+@dataclass
+class ScenarioOutcome:
+    """Measured results of one runtime run."""
+
+    label: str
+    hit_rate: float
+    baseline_rate: float
+    post_swap_first_window: float
+    post_swap_steady: float
+    recovery: float
+    reconfig_seconds: float
+    backend: str
+    kv_migrated: int
+    kv_entries_old: int
+    kv_loss: float
+    symbols_before: dict[str, int] = field(default_factory=dict)
+    symbols_after: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RuntimeComparison:
+    scenario: RuntimeScenario
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
+
+    def format(self) -> str:
+        s = self.scenario
+        rows = [
+            [
+                o.label,
+                f"{o.baseline_rate:.3f}",
+                f"{o.post_swap_first_window:.3f}",
+                f"{o.post_swap_steady:.3f}",
+                f"{o.recovery:.2f}x",
+                f"{o.reconfig_seconds:.2f}s",
+                f"{o.kv_migrated}/{o.kv_entries_old}",
+            ]
+            for o in self.outcomes
+        ]
+        table = render_table(
+            ["swap", "pre-cut rate", "first window", "post steady",
+             "recovery", "reconfig", "entries kept"],
+            rows,
+            title=(
+                "Elastic runtime — NetCache hit-rate recovery after a "
+                f"mid-run memory cut ({s.memory_bits_per_stage // 1024}KB"
+                f" -> {s.cut_memory_bits // 1024}KB per stage)"
+            ),
+        )
+        lines = [table, ""]
+        if self.outcomes:
+            o = self.outcomes[0]
+            before = ", ".join(f"{k}={v}" for k, v in sorted(o.symbols_before.items()))
+            after = ", ".join(f"{k}={v}" for k, v in sorted(o.symbols_after.items()))
+            lines.append(f"layout before cut: {before}")
+            lines.append(f"layout after cut:  {after}")
+        lines.append(
+            f"workload: ChurningZipf(universe={s.universe}, alpha={s.alpha}, "
+            f"churn={s.churn}, phase={s.phase_packets}), "
+            f"{s.packets} packets, cut at {s.cut_at}"
+        )
+        return "\n".join(lines)
+
+
+def _run_once(scenario: RuntimeScenario, migrate: bool,
+              label: str) -> ScenarioOutcome:
+    from ..runtime import ElasticRuntime, RuntimeConfig
+
+    config = RuntimeConfig(
+        window_packets=scenario.window_packets,
+        migrate_state=migrate,
+        drift_reconfig=False,   # isolate the target-change trigger
+    )
+    runtime = ElasticRuntime(scenario.target(), config=config)
+    symbols_before = dict(runtime.app.compiled.symbol_values)
+    runtime.schedule_target_change(scenario.cut_at, scenario.cut_target())
+    report = runtime.run(scenario.stream(), packets=scenario.packets)
+
+    committed = [r for r in report.reconfigs if r.committed]
+    rec = committed[-1] if committed else None
+    swap_window = scenario.cut_at // scenario.window_packets
+    first_after = (report.timeline[swap_window]
+                   if swap_window < len(report.timeline) else 0.0)
+    migration = rec.migration if rec is not None else None
+    return ScenarioOutcome(
+        label=label,
+        hit_rate=report.hit_rate,
+        baseline_rate=rec.baseline_rate if rec is not None else 0.0,
+        post_swap_first_window=first_after,
+        post_swap_steady=report.steady_rate(),
+        recovery=report.recovery_ratio(),
+        reconfig_seconds=rec.seconds if rec is not None else 0.0,
+        backend=rec.backend if rec is not None else "",
+        kv_migrated=migration.kv_migrated if migration is not None else 0,
+        kv_entries_old=migration.kv_entries_old if migration is not None else 0,
+        kv_loss=migration.kv_loss_fraction if migration is not None else 1.0,
+        symbols_before=symbols_before,
+        symbols_after=dict(report.final_symbols),
+    )
+
+
+def run_elastic_runtime(
+    scenario: RuntimeScenario | None = None,
+) -> RuntimeComparison:
+    """Run the memory-cut scenario with and without state migration."""
+    scenario = scenario or RuntimeScenario()
+    comparison = RuntimeComparison(scenario=scenario)
+    comparison.outcomes.append(_run_once(scenario, migrate=True,
+                                         label="migrated"))
+    comparison.outcomes.append(_run_once(scenario, migrate=False,
+                                         label="cold"))
+    return comparison

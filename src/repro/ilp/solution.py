@@ -19,6 +19,10 @@ class SolveStatus(enum.Enum):
     """Outcome of a solve call."""
 
     OPTIMAL = "optimal"
+    #: A feasible (heuristic or incumbent) solution without an optimality
+    #: proof — what the greedy fallback path and accepted timeout
+    #: incumbents carry.
+    FEASIBLE = "feasible"
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     TIMEOUT = "timeout"
@@ -27,6 +31,12 @@ class SolveStatus(enum.Enum):
     @property
     def ok(self) -> bool:
         return self is SolveStatus.OPTIMAL
+
+    @property
+    def usable(self) -> bool:
+        """True when the status can legitimately carry variable values."""
+        return self in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE,
+                        SolveStatus.TIMEOUT)
 
 
 @dataclass
@@ -44,6 +54,17 @@ class Solution:
     solve_seconds: float = 0.0
     backend: str = ""
     nodes_explored: int = 0
+
+    @property
+    def has_incumbent(self) -> bool:
+        """True when the solver produced usable variable values.
+
+        A :attr:`SolveStatus.TIMEOUT` solution *with* an incumbent is a
+        feasible (if possibly sub-optimal) layout; one *without* carries
+        no assignment at all and must not be decoded into a program.
+        Callers branch on this instead of string-matching error text.
+        """
+        return bool(self.values) and self.status.usable
 
     def __getitem__(self, var: Var) -> float:
         return self.values[var]

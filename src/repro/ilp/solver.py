@@ -44,4 +44,8 @@ def solve(
         from .solver_bb import solve_branch_and_bound
 
         return solve_branch_and_bound(model, time_limit=time_limit)
-    raise SolverError(f"unknown ILP backend {backend!r}; options: auto, scipy, bb")
+    raise SolverError(
+        f"unknown ILP backend {backend!r}; options: auto, scipy, bb "
+        "(the compile driver additionally accepts 'greedy', which bypasses "
+        "the ILP entirely)"
+    )

@@ -93,6 +93,15 @@ class RegisterArray:
         """Copy of the raw cell values."""
         return self._data.copy()
 
+    def nonzero_cells(self) -> int:
+        """Occupied (non-zero) cells — the runtime monitor's occupancy signal."""
+        return int(np.count_nonzero(self._data))
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of cells holding a non-zero value."""
+        return self.nonzero_cells() / self.cells
+
     def load(self, values) -> None:
         arr = np.asarray(values, dtype=np.uint64)
         if arr.shape != (self.cells,):
@@ -146,6 +155,40 @@ class RegisterFile:
 
     def memory_bits_in_stage(self, stage: int) -> int:
         return sum(a.size_bits for a in self.in_stage(stage))
+
+    # -- state migration hooks (elastic runtime) -------------------------------
+    def export_state(self) -> dict[str, np.ndarray]:
+        """Snapshot every array's contents, keyed by instance name.
+
+        The elastic runtime's state migrator exports the old layout's
+        registers before a hot swap; the snapshot is also the rollback
+        image if the swapped layout fails validation.
+        """
+        return {name: array.dump() for name, array in self._arrays.items()}
+
+    def import_state(self, state: dict[str, np.ndarray],
+                     strict: bool = False) -> list[str]:
+        """Load a prior :meth:`export_state` snapshot into matching arrays.
+
+        Arrays absent from the snapshot keep their contents; snapshot
+        entries with no same-shaped array here are skipped (the new
+        layout may have fewer rows or different sizes — cross-geometry
+        remapping is the migrator's job, not this hook's). Returns the
+        names actually loaded. With ``strict=True``, any skip raises.
+        """
+        loaded: list[str] = []
+        for name, values in state.items():
+            array = self._arrays.get(name)
+            if array is None or array.cells != len(values):
+                if strict:
+                    raise RegisterError(
+                        f"import_state: no matching array for {name!r} "
+                        f"({len(values)} cells)"
+                    )
+                continue
+            array.load(values)
+            loaded.append(name)
+        return loaded
 
     def __contains__(self, name: str) -> bool:
         return name in self._arrays

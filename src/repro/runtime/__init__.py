@@ -1,0 +1,45 @@
+"""Elastic runtime control plane: monitor → recompile → hot-swap.
+
+The compiler makes P4All programs *elastic at compile time*; this
+package makes the deployment elastic *at run time*. It watches a live
+(simulated) pipeline under a churning workload, re-invokes the compiler
+when conditions change — an operator re-provisioning the target, or the
+hit rate drifting away from steady state — migrates register state onto
+the new layout, validates, and hot-swaps. Structured telemetry covers
+every decision.
+
+Modules:
+
+* :mod:`~repro.runtime.monitor` — sliding-window hit rate / occupancy /
+  drift signals;
+* :mod:`~repro.runtime.planner` — recompilation with timeout retry,
+  backoff, and greedy fallback (never leaves the pipeline unconfigured);
+* :mod:`~repro.runtime.migrate` — register-state migration (CMS counter
+  folding, heat-ranked KV re-admission);
+* :mod:`~repro.runtime.telemetry` — structured JSON event bus;
+* :mod:`~repro.runtime.controller` — :class:`ElasticRuntime`, the loop
+  tying them together.
+"""
+
+from .controller import ElasticRuntime, ReconfigRecord, RunReport, RuntimeConfig
+from .migrate import MigrationReport, fold_counters, migrate_netcache_state
+from .monitor import TrafficMonitor, WindowSample
+from .planner import PlanError, PlanResult, ReconfigPlanner
+from .telemetry import TelemetryBus, TelemetryEvent
+
+__all__ = [
+    "ElasticRuntime",
+    "ReconfigRecord",
+    "RunReport",
+    "RuntimeConfig",
+    "MigrationReport",
+    "fold_counters",
+    "migrate_netcache_state",
+    "TrafficMonitor",
+    "WindowSample",
+    "PlanError",
+    "PlanResult",
+    "ReconfigPlanner",
+    "TelemetryBus",
+    "TelemetryEvent",
+]

@@ -1,0 +1,385 @@
+"""The elastic runtime control plane: monitor → recompile → hot-swap.
+
+:class:`ElasticRuntime` closes the loop the paper leaves open: it runs a
+compiled NetCache pipeline under a live key stream and *reconfigures it
+online*. Two triggers arm a reconfiguration:
+
+* **target change** — the operator re-provisions the data plane (e.g.
+  shrinks per-stage register memory M); requested with
+  :meth:`set_target` or scheduled mid-run with
+  :meth:`schedule_target_change`;
+* **drift** — the monitor sees the windowed hit rate fall below the
+  steady baseline (the hot set moved faster than the cache followed).
+
+A reconfiguration runs the full cycle: plan (ILP with retry/backoff,
+greedy fallback — see :mod:`repro.runtime.planner`), build the new
+pipeline, migrate register state onto it
+(:mod:`repro.runtime.migrate`), re-validate the populated layout with
+:func:`~repro.core.validate.validate_layout` plus a canary packet, and
+only then swap. Any failure rolls back to the still-running old
+pipeline. Every step lands on the telemetry bus.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..apps.netcache import NETCACHE_UTILITY, NetCacheApp, netcache_source
+from ..core import CompileOptions, validate_layout
+from ..core.errors import CompileError
+from ..pisa import Packet
+from ..pisa.resources import TargetSpec
+from .migrate import MigrationReport, migrate_netcache_state
+from .monitor import TrafficMonitor
+from .planner import PlanError, ReconfigPlanner
+from .telemetry import TelemetryBus
+
+__all__ = ["RuntimeConfig", "ReconfigRecord", "RunReport", "ElasticRuntime"]
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Control-loop knobs."""
+
+    window_packets: int = 1000        # monitoring window size
+    drop_threshold: float = 0.25      # relative hit-rate drop that means drift
+    baseline_windows: int = 5         # windows forming the steady baseline
+    warmup_windows: int = 4           # windows ignored after start/swap
+    cooldown_windows: int = 10        # min windows between drift reconfigs
+    hot_threshold: int = 4            # NetCache promotion threshold
+    migrate_state: bool = True        # run the state migrator on swap
+    validate_swap: bool = True        # re-validate + canary before commit
+    drift_reconfig: bool = True       # arm the drift trigger at all
+
+
+@dataclass
+class ReconfigRecord:
+    """One reconfiguration cycle, committed or rolled back."""
+
+    cause: str
+    packet_index: int
+    committed: bool
+    backend: str = ""
+    fallback: bool = False
+    seconds: float = 0.0
+    baseline_rate: float = 0.0
+    migration: MigrationReport | None = None
+    error: str = ""
+    symbol_values: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class RunReport:
+    """Outcome of one :meth:`ElasticRuntime.run` call."""
+
+    packets: int = 0
+    hits: int = 0
+    timeline: list[float] = field(default_factory=list)   # per-window hit rate
+    reconfigs: list[ReconfigRecord] = field(default_factory=list)
+    final_symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.packets if self.packets else 0.0
+
+    def steady_rate(self, windows: int = 5) -> float:
+        tail = self.timeline[-windows:]
+        return sum(tail) / len(tail) if tail else 0.0
+
+    def recovery_ratio(self, windows: int = 5) -> float:
+        """Post-swap steady hit rate relative to the last committed
+        reconfiguration's pre-swap baseline (1.0 = full recovery;
+        >1.0 = better than before)."""
+        committed = [r for r in self.reconfigs if r.committed]
+        if not committed or committed[-1].baseline_rate <= 0.0:
+            return 1.0
+        return self.steady_rate(windows) / committed[-1].baseline_rate
+
+    def format(self) -> str:
+        lines = [
+            f"processed {self.packets} packets, overall hit rate "
+            f"{self.hit_rate:.3f}",
+            f"final layout: "
+            + ", ".join(f"{k}={v}" for k, v in sorted(self.final_symbols.items())),
+        ]
+        for r in self.reconfigs:
+            outcome = "committed" if r.committed else f"ROLLED BACK ({r.error})"
+            extra = ""
+            if r.migration is not None:
+                extra = (f", migrated {r.migration.kv_migrated}/"
+                         f"{r.migration.kv_entries_old} cache entries "
+                         f"(loss {r.migration.kv_loss_fraction:.2f})")
+            lines.append(
+                f"  reconfig @pkt {r.packet_index} [{r.cause}] via "
+                f"{r.backend or 'none'}"
+                f"{' (greedy fallback)' if r.fallback else ''} "
+                f"in {r.seconds:.2f}s — {outcome}{extra}"
+            )
+        committed = [r for r in self.reconfigs if r.committed]
+        if committed:
+            lines.append(
+                f"  pre-swap steady rate {committed[-1].baseline_rate:.3f}, "
+                f"post-swap steady rate {self.steady_rate():.3f} "
+                f"(recovery {self.recovery_ratio():.2f}x)"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "packets": self.packets,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
+            "timeline": self.timeline,
+            "final_symbols": self.final_symbols,
+            "recovery_ratio": self.recovery_ratio(),
+            "reconfigs": [
+                {
+                    "cause": r.cause,
+                    "packet_index": r.packet_index,
+                    "committed": r.committed,
+                    "backend": r.backend,
+                    "fallback": r.fallback,
+                    "seconds": r.seconds,
+                    "baseline_rate": r.baseline_rate,
+                    "error": r.error,
+                    "symbol_values": r.symbol_values,
+                    "migration": (r.migration.to_dict()
+                                  if r.migration is not None else None),
+                }
+                for r in self.reconfigs
+            ],
+        }
+
+
+class ElasticRuntime:
+    """Live NetCache pipeline with online reconfiguration."""
+
+    def __init__(
+        self,
+        target: TargetSpec,
+        source: str | None = None,
+        utility: str = NETCACHE_UTILITY,
+        options: CompileOptions | None = None,
+        config: RuntimeConfig | None = None,
+        telemetry: TelemetryBus | None = None,
+        planner: ReconfigPlanner | None = None,
+    ):
+        self.config = config or RuntimeConfig()
+        # Explicit None-checks: an empty TelemetryBus is falsy (len 0).
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        # The runtime's control loop needs register-level access to both
+        # structures, so it drives the library NetCache composition
+        # (routing omitted: the runtime exercises the cache path).
+        self.source = source or netcache_source(
+            utility=utility, with_routing=False
+        )
+        self.planner = planner if planner is not None else ReconfigPlanner(
+            options=options, telemetry=self.telemetry
+        )
+        self.monitor = TrafficMonitor(
+            baseline_windows=self.config.baseline_windows,
+            drop_threshold=self.config.drop_threshold,
+            warmup_windows=self.config.warmup_windows,
+        )
+        self.target = target
+        self.packets_processed = 0
+        self.total_hits = 0
+        self._pending_target: TargetSpec | None = None
+        self._scheduled: list[tuple[int, TargetSpec]] = []
+        self._last_reconfig_window = -(10 ** 9)
+        #: test hook: called with the candidate app before commit; raising
+        #: aborts the swap (exercises the rollback path).
+        self.pre_commit_check: Callable[[NetCacheApp], None] | None = None
+
+        plan = self.planner.plan(self.source, target, cause="initial")
+        self.app = self._build_app(plan.compiled)
+        self.telemetry.emit(
+            "configured",
+            packet_index=0,
+            backend=plan.backend,
+            fallback=plan.fallback,
+            symbols=dict(plan.compiled.symbol_values),
+        )
+
+    # -- construction ----------------------------------------------------------
+    def _build_app(self, compiled) -> NetCacheApp:
+        return NetCacheApp(
+            compiled.target,
+            hot_threshold=self.config.hot_threshold,
+            source=self.source,
+            compiled=compiled,
+        )
+
+    # -- operator interface ----------------------------------------------------
+    def set_target(self, target: TargetSpec) -> None:
+        """Request re-provisioning; applied at the next window boundary."""
+        self._pending_target = target
+        self.telemetry.emit(
+            "target_change_requested",
+            packet_index=self.packets_processed,
+            target=target.name,
+            memory_bits_per_stage=target.memory_bits_per_stage,
+            stages=target.stages,
+        )
+
+    def schedule_target_change(self, at_packet: int, target: TargetSpec) -> None:
+        """Arrange for :meth:`set_target` once ``at_packet`` packets have
+        been processed (the eval/CLI mid-run memory-cut scenario)."""
+        self._scheduled.append((at_packet, target))
+        self._scheduled.sort(key=lambda item: item[0])
+
+    # -- reconfiguration cycle -------------------------------------------------
+    def reconfigure(self, cause: str) -> ReconfigRecord:
+        """Plan → build → migrate → validate → swap (or roll back)."""
+        started = time.perf_counter()
+        new_target = self._pending_target or self.target
+        baseline = self.monitor.steady_rate()
+        record = ReconfigRecord(
+            cause=cause,
+            packet_index=self.packets_processed,
+            committed=False,
+            baseline_rate=baseline,
+        )
+        self.telemetry.emit(
+            "reconfig_triggered",
+            packet_index=self.packets_processed,
+            cause=cause,
+            baseline_rate=baseline,
+            target=new_target.name,
+            memory_bits_per_stage=new_target.memory_bits_per_stage,
+        )
+        try:
+            plan = self.planner.plan(self.source, new_target, cause=cause)
+        except PlanError as exc:
+            record.error = str(exc)
+            record.seconds = time.perf_counter() - started
+            self.telemetry.emit(
+                "reconfig_failed",
+                packet_index=self.packets_processed,
+                cause=cause,
+                error=str(exc),
+            )
+            self._pending_target = None
+            return record
+
+        record.backend = plan.backend
+        record.fallback = plan.fallback
+        record.symbol_values = dict(plan.compiled.symbol_values)
+        new_app = self._build_app(plan.compiled)
+
+        if self.config.migrate_state:
+            record.migration = migrate_netcache_state(self.app, new_app)
+            self.telemetry.emit(
+                "migration",
+                packet_index=self.packets_processed,
+                **record.migration.to_dict(),
+            )
+
+        try:
+            if self.config.validate_swap:
+                validate_layout(
+                    plan.compiled,
+                    hash_unit_limits=self.planner.options.layout.hash_unit_limits,
+                    table_memory=self.planner.options.layout.table_memory,
+                )
+                self._canary(new_app)
+            if self.pre_commit_check is not None:
+                self.pre_commit_check(new_app)
+        except Exception as exc:  # roll back on *any* pre-commit failure
+            record.error = str(exc)
+            record.seconds = time.perf_counter() - started
+            self.telemetry.emit(
+                "rollback",
+                packet_index=self.packets_processed,
+                cause=cause,
+                error=str(exc),
+            )
+            self._pending_target = None
+            return record
+
+        self.app = new_app
+        self.target = new_target
+        self._pending_target = None
+        self.monitor.reset_baseline()
+        record.committed = True
+        record.seconds = time.perf_counter() - started
+        stats = plan.compiled.stats
+        self.telemetry.emit(
+            "swap_committed",
+            packet_index=self.packets_processed,
+            cause=cause,
+            backend=plan.backend,
+            fallback=plan.fallback,
+            seconds=record.seconds,
+            plan_seconds=plan.plan_seconds,
+            parse_seconds=stats.parse_seconds,
+            analysis_seconds=stats.analysis_seconds,
+            ilp_build_seconds=stats.ilp_build_seconds,
+            ilp_solve_seconds=stats.ilp_solve_seconds,
+            codegen_seconds=stats.codegen_seconds,
+            symbols=dict(plan.compiled.symbol_values),
+            kv_loss=(record.migration.kv_loss_fraction
+                     if record.migration is not None else None),
+        )
+        return record
+
+    def _canary(self, app: NetCacheApp) -> None:
+        """One packet through the candidate pipeline before commit: it
+        must process cleanly, and a migrated hot key must actually hit."""
+        if app._cached_keys:
+            key = next(iter(app._cached_keys))
+            result = app.pipeline.process(Packet(fields={"req_key": key}))
+            if not result.get("meta.kv_hit"):
+                raise CompileError(
+                    f"canary failed: migrated key {key} missed in the "
+                    "candidate pipeline"
+                )
+        else:
+            app.pipeline.process(Packet(fields={"req_key": 1}))
+
+    # -- the control loop ------------------------------------------------------
+    def run(self, stream, packets: int, report: RunReport | None = None) -> RunReport:
+        """Drive ``packets`` keys from ``stream`` (anything with a
+        ``sample(count)`` method) through the pipeline, reconfiguring as
+        triggers fire. Passing an existing ``report`` continues it."""
+        report = report or RunReport()
+        end = self.packets_processed + packets
+        while self.packets_processed < end:
+            # Apply scheduled provisioning changes that have come due.
+            while self._scheduled and self._scheduled[0][0] <= self.packets_processed:
+                _at, target = self._scheduled.pop(0)
+                self.set_target(target)
+
+            window_index = self.monitor.windows_recorded
+            if self._pending_target is not None:
+                report.reconfigs.append(self.reconfigure("target-change"))
+                self._last_reconfig_window = window_index
+            elif (
+                self.config.drift_reconfig
+                and self.monitor.drift_detected()
+                and window_index - self._last_reconfig_window
+                    >= self.config.cooldown_windows
+            ):
+                report.reconfigs.append(self.reconfigure("hit-rate-drop"))
+                self._last_reconfig_window = window_index
+
+            n = min(self.config.window_packets, end - self.packets_processed)
+            keys = stream.sample(n)
+            stats = self.app.run_trace(keys)
+            self.packets_processed += n
+            self.total_hits += stats.hits
+            report.packets += n
+            report.hits += stats.hits
+            sample = self.monitor.record(stats.hits, n)
+            report.timeline.append(sample.hit_rate)
+            self.telemetry.emit(
+                "window",
+                packet_index=self.packets_processed,
+                window=sample.index,
+                hit_rate=sample.hit_rate,
+                occupancy=TrafficMonitor.structure_occupancy(self.app),
+            )
+        report.final_symbols = dict(self.app.compiled.symbol_values)
+        return report

@@ -1,0 +1,136 @@
+"""State migration between two compiled NetCache layouts.
+
+A hot swap replaces the pipeline mid-stream; without migration the new
+cache starts cold and the hit rate collapses until the sketch re-learns
+the hot set. The migrator maps the old layout's register contents onto
+the new one:
+
+* **CMS counters** are folded row-by-row. Keys index a row by
+  ``h(key) mod cols``, so when the column count shrinks from ``C_old``
+  to ``C_new`` every old cell ``j`` contributes to new cell
+  ``j mod C_new``. Summing contributions preserves the count-min
+  overestimate invariant exactly when ``C_new`` divides ``C_old`` (each
+  key's new cell aggregates precisely the old cells that could have
+  counted it) and remains a safe overestimate otherwise.
+* **KV entries** are re-admitted *by heat*: every cached ``(key, value)``
+  read from the old data plane is ranked by the old sketch's estimate
+  and re-installed hottest-first at the slot the new layout's hashes
+  select. Entries whose candidate slots are all taken are dropped —
+  the cache shrank, and the coldest entries are the ones to lose.
+
+The caller (the runtime controller) validates the populated layout and
+rolls back to the old pipeline if anything fails — the old app is never
+mutated here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["MigrationReport", "migrate_netcache_state", "fold_counters"]
+
+
+@dataclass
+class MigrationReport:
+    """What a migration moved and what it lost."""
+
+    kv_entries_old: int = 0
+    kv_migrated: int = 0
+    kv_dropped: int = 0
+    cms_rows_migrated: int = 0
+    cms_rows_dropped: int = 0
+    cms_exact_fold: bool = True
+    cms_mass_old: int = 0
+    cms_mass_new: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def kv_loss_fraction(self) -> float:
+        if self.kv_entries_old == 0:
+            return 0.0
+        return self.kv_dropped / self.kv_entries_old
+
+    def to_dict(self) -> dict:
+        return {
+            "kv_entries_old": self.kv_entries_old,
+            "kv_migrated": self.kv_migrated,
+            "kv_dropped": self.kv_dropped,
+            "kv_loss_fraction": self.kv_loss_fraction,
+            "cms_rows_migrated": self.cms_rows_migrated,
+            "cms_rows_dropped": self.cms_rows_dropped,
+            "cms_exact_fold": self.cms_exact_fold,
+            "cms_mass_old": self.cms_mass_old,
+            "cms_mass_new": self.cms_mass_new,
+        }
+
+
+def fold_counters(old: np.ndarray, new_cells: int, mask: int) -> tuple[np.ndarray, bool]:
+    """Fold a counter row onto ``new_cells`` cells (see module docstring).
+
+    Returns ``(folded, exact)`` where ``exact`` is True when the fold is
+    an exact re-aggregation (same size, or the old size is a multiple of
+    the new one).
+    """
+    old_cells = len(old)
+    if new_cells == old_cells:
+        return old.copy(), True
+    src = old.astype(np.uint64)
+    folded = np.zeros(new_cells, dtype=np.uint64)
+    np.add.at(folded, np.arange(old_cells) % new_cells, src)
+    exact = old_cells % new_cells == 0 if new_cells < old_cells else False
+    return folded & np.uint64(mask), exact
+
+
+def migrate_netcache_state(old_app, new_app) -> MigrationReport:
+    """Populate ``new_app``'s registers from ``old_app``'s state.
+
+    Both arguments are :class:`~repro.apps.netcache.NetCacheApp`-shaped:
+    a ``pipeline`` with ``cms_sketch[r]`` / ``kv_keys[r]`` / ``kv_val0[r]``
+    register families plus ``cms_rows``/``kv_rows`` counts. ``old_app``
+    is only read.
+    """
+    report = MigrationReport()
+
+    # -- CMS fold --------------------------------------------------------------
+    common_rows = min(old_app.cms_rows, new_app.cms_rows)
+    for row in range(common_rows):
+        src = old_app.pipeline.registers.get(f"cms_sketch[{row}]")
+        dst = new_app.pipeline.registers.get(f"cms_sketch[{row}]")
+        folded, exact = fold_counters(src.dump(), dst.cells, dst.mask)
+        dst.load(folded)
+        report.cms_rows_migrated += 1
+        report.cms_exact_fold = report.cms_exact_fold and exact
+        report.cms_mass_old += int(src.dump().sum())
+        report.cms_mass_new += int(folded.sum())
+    report.cms_rows_dropped = max(old_app.cms_rows - common_rows, 0)
+    if report.cms_rows_dropped:
+        report.notes.append(
+            f"{report.cms_rows_dropped} sketch rows dropped (fewer rows "
+            "in the new layout)"
+        )
+
+    # -- KV re-admission by heat ------------------------------------------------
+    entries = old_app.cached_entries()
+    report.kv_entries_old = len(entries)
+    ranked = sorted(
+        ((old_app._cms_estimate(key), key, value)
+         for _row, key, value in entries),
+        reverse=True,
+    )
+    seen: set[int] = set()
+    for heat, key, value in ranked:
+        if key in seen:
+            continue
+        seen.add(key)
+        if new_app.install(key, value):
+            report.kv_migrated += 1
+        else:
+            report.kv_dropped += 1
+    if report.kv_dropped:
+        report.notes.append(
+            f"{report.kv_dropped} cache entries dropped (no free candidate "
+            "slot in the new layout)"
+        )
+    return report

@@ -1,0 +1,199 @@
+"""Reconfiguration planner: compile with retry, backoff, and fallback.
+
+On a reconfiguration trigger the runtime must end up with *some* valid
+layout — a pipeline left unconfigured drops every packet, which is worse
+than any degraded layout. The planner encodes that policy around the
+compile driver:
+
+1. solve the layout ILP under ``CompileOptions.time_limit``;
+2. on a structured :class:`~repro.core.errors.LayoutTimeoutError`
+   (time limit expired with no incumbent), retry with the limit scaled
+   by ``backoff`` — up to ``max_retries`` times;
+3. still timing out, degrade to the greedy first-fit layout
+   (:func:`~repro.core.driver.compile_source_greedy`) — feasible and
+   validated, just not utility-optimal;
+4. only a genuinely infeasible program (no layout exists at any size)
+   or a greedy failure surfaces as :class:`PlanError`, and the caller
+   keeps the old pipeline running.
+
+A timeout *with* an incumbent is accepted as-is when
+``accept_incumbent`` (the default): the solver proved feasibility, just
+not optimality. Every attempt is emitted on the telemetry bus.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core import (
+    CompileOptions,
+    CompiledProgram,
+    LayoutInfeasibleError,
+    LayoutTimeoutError,
+    compile_source,
+    compile_source_greedy,
+)
+from ..core.errors import CompileError
+from ..ilp import SolveStatus
+from ..pisa.resources import TargetSpec
+from .telemetry import TelemetryBus
+
+__all__ = ["ReconfigPlanner", "PlanResult", "PlanError"]
+
+
+class PlanError(CompileError):
+    """No layout could be produced at all (infeasible program, or the
+    greedy fallback itself failed). The caller must keep the old
+    configuration. A :class:`CompileError` so CLI-level handling treats
+    it like any other compile failure."""
+
+
+@dataclass
+class PlanResult:
+    """Outcome of one planning cycle."""
+
+    compiled: CompiledProgram
+    backend: str                  # "ilp" or "greedy"
+    fallback: bool                # True when the greedy path was used
+    attempts: list[dict] = field(default_factory=list)
+    plan_seconds: float = 0.0
+
+    @property
+    def symbol_values(self) -> dict[str, int]:
+        return self.compiled.symbol_values
+
+
+class ReconfigPlanner:
+    """Produces a compiled layout for a target, never less than greedy."""
+
+    def __init__(
+        self,
+        options: CompileOptions | None = None,
+        telemetry: TelemetryBus | None = None,
+        max_retries: int = 1,
+        backoff: float = 4.0,
+        accept_incumbent: bool = True,
+    ):
+        self.options = options or CompileOptions()
+        # Explicit None-check: an empty TelemetryBus is falsy (len 0).
+        self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.accept_incumbent = accept_incumbent
+
+    def _options_with(self, time_limit: float | None) -> CompileOptions:
+        base = self.options
+        return CompileOptions(
+            entry=base.entry,
+            backend=base.backend,
+            time_limit=time_limit,
+            layout=base.layout,
+            unroll=base.unroll,
+            verify=base.verify,
+        )
+
+    def _usable(self, compiled: CompiledProgram) -> bool:
+        """An incumbent that placed nothing is no better than a timeout."""
+        return bool(compiled.units)
+
+    def plan(self, source: str, target: TargetSpec,
+             cause: str = "unspecified") -> PlanResult:
+        """Compile ``source`` for ``target``; see the module docstring
+        for the retry/fallback policy. Raises :class:`PlanError` when
+        even the greedy path cannot produce a layout."""
+        started = time.perf_counter()
+        attempts: list[dict] = []
+        time_limit = self.options.time_limit
+        want_ilp = self.options.backend != "greedy"
+
+        if want_ilp:
+            for attempt in range(self.max_retries + 1):
+                record = {
+                    "backend": self.options.backend,
+                    "time_limit": time_limit,
+                    "attempt": attempt,
+                }
+                t0 = time.perf_counter()
+                try:
+                    compiled = compile_source(
+                        source, target, self._options_with(time_limit),
+                        source_name="runtime",
+                    )
+                except LayoutTimeoutError as exc:
+                    record.update(outcome="timeout",
+                                  seconds=time.perf_counter() - t0,
+                                  backend_used=exc.backend)
+                    attempts.append(record)
+                    self.telemetry.emit("compile_attempt", cause=cause, **record)
+                    if time_limit is not None:
+                        time_limit *= self.backoff
+                    continue
+                except LayoutInfeasibleError as exc:
+                    # Infeasible is a property of the program+target, not
+                    # of solver effort: greedy cannot succeed either.
+                    record.update(outcome="infeasible",
+                                  seconds=time.perf_counter() - t0)
+                    attempts.append(record)
+                    self.telemetry.emit("compile_attempt", cause=cause, **record)
+                    raise PlanError(
+                        f"program does not fit target {target.name!r}: {exc}"
+                    ) from exc
+
+                status = compiled.solution.status
+                if not self._usable(compiled) or (
+                    status is SolveStatus.TIMEOUT and not self.accept_incumbent
+                ):
+                    record.update(outcome="degenerate-incumbent"
+                                  if not compiled.units else "timeout-incumbent",
+                                  seconds=time.perf_counter() - t0)
+                    attempts.append(record)
+                    self.telemetry.emit("compile_attempt", cause=cause, **record)
+                    if time_limit is not None:
+                        time_limit *= self.backoff
+                    continue
+
+                record.update(outcome="ok", seconds=time.perf_counter() - t0,
+                              status=status.value,
+                              symbols=dict(compiled.symbol_values))
+                attempts.append(record)
+                self.telemetry.emit("compile_attempt", cause=cause, **record)
+                return PlanResult(
+                    compiled=compiled,
+                    backend="ilp",
+                    fallback=False,
+                    attempts=attempts,
+                    plan_seconds=time.perf_counter() - started,
+                )
+
+            self.telemetry.emit(
+                "ilp_fallback", cause=cause,
+                attempts=len(attempts),
+                final_time_limit=time_limit,
+            )
+
+        record = {"backend": "greedy", "time_limit": None,
+                  "attempt": len(attempts)}
+        t0 = time.perf_counter()
+        try:
+            compiled = compile_source_greedy(
+                source, target, self._options_with(None), source_name="runtime"
+            )
+        except CompileError as exc:
+            record.update(outcome="error", seconds=time.perf_counter() - t0,
+                          error=str(exc))
+            attempts.append(record)
+            self.telemetry.emit("compile_attempt", cause=cause, **record)
+            raise PlanError(f"greedy fallback failed: {exc}") from exc
+        record.update(outcome="ok", seconds=time.perf_counter() - t0,
+                      status=compiled.solution.status.value,
+                      symbols=dict(compiled.symbol_values))
+        attempts.append(record)
+        self.telemetry.emit("compile_attempt", cause=cause, **record)
+        return PlanResult(
+            compiled=compiled,
+            backend="greedy",
+            fallback=want_ilp,
+            attempts=attempts,
+            plan_seconds=time.perf_counter() - started,
+        )

@@ -1,0 +1,106 @@
+"""Structured telemetry for the elastic runtime.
+
+Every control-plane decision — reconfiguration triggers, compile
+attempts and fallbacks, migration outcomes, hot swaps, rollbacks — is
+emitted as a :class:`TelemetryEvent` on a :class:`TelemetryBus`. Events
+are plain data (JSON-serializable dicts), so the same stream feeds the
+in-memory assertions the tests make, the ``p4all run`` report, the
+runtime eval experiment, and an optional JSON-lines sink on disk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+__all__ = ["TelemetryEvent", "TelemetryBus"]
+
+
+@dataclass
+class TelemetryEvent:
+    """One structured runtime event.
+
+    ``kind`` is a stable identifier (``reconfig_triggered``,
+    ``compile_attempt``, ``ilp_fallback``, ``migration``,
+    ``swap_committed``, ``rollback``, ``window``, ...); ``packet_index``
+    is the position in the packet stream when the event fired (``None``
+    for events outside a run); ``data`` carries kind-specific fields.
+    """
+
+    seq: int
+    kind: str
+    packet_index: int | None = None
+    wall_time: float = 0.0
+    data: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "kind": self.kind,
+            "packet_index": self.packet_index,
+            "wall_time": self.wall_time,
+            **self.data,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, default=str)
+
+
+class TelemetryBus:
+    """Collects runtime events; optionally streams them to a JSONL file.
+
+    ``subscribe`` registers a callback invoked synchronously on every
+    event (the eval harness uses this to narrate progress); subscriber
+    exceptions propagate — the bus is for observability, not isolation.
+    """
+
+    def __init__(self, sink: str | Path | None = None):
+        self.events: list[TelemetryEvent] = []
+        self._subscribers: list[Callable[[TelemetryEvent], None]] = []
+        self._sink_path = Path(sink) if sink is not None else None
+        self._seq = 0
+
+    def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
+        self._subscribers.append(callback)
+
+    def emit(self, kind: str, packet_index: int | None = None,
+             **data: Any) -> TelemetryEvent:
+        event = TelemetryEvent(
+            seq=self._seq,
+            kind=kind,
+            packet_index=packet_index,
+            wall_time=time.time(),
+            data=data,
+        )
+        self._seq += 1
+        self.events.append(event)
+        if self._sink_path is not None:
+            with self._sink_path.open("a") as fh:
+                fh.write(event.to_json() + "\n")
+        for callback in self._subscribers:
+            callback(event)
+        return event
+
+    # -- queries ---------------------------------------------------------------
+    def events_of(self, kind: str) -> list[TelemetryEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def last_of(self, kind: str) -> TelemetryEvent | None:
+        for event in reversed(self.events):
+            if event.kind == kind:
+                return event
+        return None
+
+    def write_jsonl(self, path: str | Path) -> int:
+        """Dump every collected event to ``path``; returns the count."""
+        path = Path(path)
+        with path.open("w") as fh:
+            for event in self.events:
+                fh.write(event.to_json() + "\n")
+        return len(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -42,6 +42,7 @@ class ChurningZipf:
         self._rng = np.random.default_rng(seed ^ 0xC0FFEE)
         self._since_rotation = 0
         self.rotations = 0
+        self.packets_sampled = 0
 
     def _rotate(self) -> None:
         """Swap a churn-fraction of hot ranks with random cold keys."""
@@ -71,8 +72,14 @@ class ChurningZipf:
             if self._since_rotation >= self.phase_packets:
                 self._rotate()
                 self._since_rotation = 0
+        self.packets_sampled += count
         return np.concatenate(out)
 
     def hottest(self, n: int) -> np.ndarray:
         """The *current* hottest keys (changes across rotations)."""
         return self.generator.hottest(n)
+
+    def hot_set(self, n: int | None = None) -> set[int]:
+        """The current hot keys as a set (defaults to ``hot_ranks`` keys) —
+        what the runtime monitor compares the cache contents against."""
+        return {int(k) for k in self.hottest(n or self.hot_ranks)}

@@ -110,3 +110,57 @@ class TestRegisterFile:
         rf.get("a[0]").write(0, 3)
         rf.clear_all()
         assert rf.get("a[0]").read(0) == 0
+
+
+class TestOccupancy:
+    def test_nonzero_cells_and_occupancy(self):
+        r = RegisterArray("r", 8, 32)
+        assert r.nonzero_cells() == 0
+        assert r.occupancy == 0.0
+        r.write(0, 5)
+        r.write(3, 1)
+        assert r.nonzero_cells() == 2
+        assert r.occupancy == pytest.approx(0.25)
+
+
+class TestStateSnapshots:
+    def make_file(self):
+        rf = RegisterFile()
+        rf.create("a[0]", 4, 32, stage=0)
+        rf.create("b[0]", 8, 16, stage=1)
+        rf.get("a[0]").write(1, 11)
+        rf.get("b[0]").write(2, 22)
+        return rf
+
+    def test_export_import_round_trip(self):
+        rf = self.make_file()
+        snapshot = rf.export_state()
+        rf.clear_all()
+        loaded = rf.import_state(snapshot)
+        assert sorted(loaded) == ["a[0]", "b[0]"]
+        assert rf.get("a[0]").read(1) == 11
+        assert rf.get("b[0]").read(2) == 22
+
+    def test_export_is_a_snapshot_not_a_view(self):
+        rf = self.make_file()
+        snapshot = rf.export_state()
+        rf.get("a[0]").write(1, 99)
+        assert snapshot["a[0]"][1] == 11
+
+    def test_import_skips_mismatched_shapes(self):
+        rf = self.make_file()
+        snapshot = rf.export_state()
+        other = RegisterFile()
+        other.create("a[0]", 4, 32, stage=0)   # matches
+        other.create("b[0]", 16, 16, stage=1)  # resized: skipped
+        loaded = other.import_state(snapshot)
+        assert loaded == ["a[0]"]
+        assert other.get("b[0]").read(2) == 0
+
+    def test_import_strict_raises_on_mismatch(self):
+        rf = self.make_file()
+        snapshot = rf.export_state()
+        other = RegisterFile()
+        other.create("a[0]", 4, 32, stage=0)
+        with pytest.raises(RegisterError, match="no matching array"):
+            other.import_state(snapshot, strict=True)

@@ -1,0 +1,43 @@
+"""Runtime test fixtures.
+
+The runtime targets are mini-Tofinos (6 stages) so NetCache compiles in
+about two seconds; the compiled artifacts are session-scoped because the
+compiler is deterministic, while every runtime/app built from them is
+per-test (mutable register state).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.apps.netcache import netcache_source
+from repro.core import compile_source
+from repro.pisa.resources import tofino
+
+RUNTIME_SOURCE = netcache_source(with_routing=False)
+
+
+@pytest.fixture(scope="session")
+def mini64():
+    """6-stage target with 64KB of register memory per stage."""
+    return dataclasses.replace(
+        tofino(), stages=6, memory_bits_per_stage=64 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def mini32(mini64):
+    """The same target after the memory cut: 32KB per stage."""
+    return dataclasses.replace(mini64, memory_bits_per_stage=32 * 1024)
+
+
+@pytest.fixture(scope="session")
+def compiled64(mini64):
+    return compile_source(RUNTIME_SOURCE, mini64, source_name="netcache")
+
+
+@pytest.fixture(scope="session")
+def compiled32(mini32):
+    return compile_source(RUNTIME_SOURCE, mini32, source_name="netcache")

@@ -1,0 +1,147 @@
+"""State migration: counter folds and the compile→populate→shrink→
+migrate→validate round trip."""
+
+import numpy as np
+import pytest
+
+from repro.apps.netcache import NetCacheApp
+from repro.core import validate_layout
+from repro.runtime import fold_counters, migrate_netcache_state
+from repro.workloads import ZipfGenerator
+
+MASK32 = (1 << 32) - 1
+
+
+class TestFoldCounters:
+    def test_same_size_is_copy(self):
+        old = np.arange(8, dtype=np.uint64)
+        folded, exact = fold_counters(old, 8, MASK32)
+        assert exact
+        assert np.array_equal(folded, old)
+        folded[0] = 99
+        assert old[0] == 0  # a copy, not a view
+
+    def test_exact_fold_when_divisible(self):
+        old = np.arange(8, dtype=np.uint64)
+        folded, exact = fold_counters(old, 4, MASK32)
+        assert exact
+        # cell j aggregates old cells j and j+4
+        assert folded.tolist() == [0 + 4, 1 + 5, 2 + 6, 3 + 7]
+
+    def test_total_mass_preserved(self):
+        rng = np.random.default_rng(0)
+        old = rng.integers(0, 1000, size=48).astype(np.uint64)
+        for new_cells in (48, 24, 16, 7, 5):
+            folded, _ = fold_counters(old, new_cells, MASK32)
+            assert folded.sum() == old.sum()
+
+    def test_inexact_when_not_divisible(self):
+        old = np.ones(10, dtype=np.uint64)
+        _folded, exact = fold_counters(old, 3, MASK32)
+        assert not exact
+
+    def test_growth_is_inexact(self):
+        old = np.ones(4, dtype=np.uint64)
+        folded, exact = fold_counters(old, 8, MASK32)
+        assert not exact
+        assert folded.sum() == old.sum()
+
+
+@pytest.fixture()
+def warm_old_app(compiled64, mini64):
+    """A 64KB NetCache that served a Zipf trace (cache warm, sketch full)."""
+    app = NetCacheApp(mini64, hot_threshold=4, compiled=compiled64)
+    keys = ZipfGenerator(2000, alpha=1.3, seed=5).sample(4000)
+    app.run_trace(keys)
+    assert app.cached_entries()
+    return app
+
+
+class TestMigrationRoundTrip:
+    def test_round_trip_shrink(self, warm_old_app, compiled32, mini32):
+        new_app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32)
+        report = migrate_netcache_state(warm_old_app, new_app)
+
+        # Accounting adds up and something actually moved.
+        assert report.kv_entries_old == len(warm_old_app.cached_entries())
+        assert report.kv_migrated + report.kv_dropped == report.kv_entries_old
+        assert report.kv_migrated > 0
+        assert 0.0 <= report.kv_loss_fraction <= 1.0
+
+        # 2048 -> 1024 columns divides evenly: the fold is exact and
+        # mass-preserving.
+        assert report.cms_exact_fold
+        assert report.cms_mass_new == report.cms_mass_old
+        assert report.cms_rows_migrated == min(warm_old_app.cms_rows,
+                                               new_app.cms_rows)
+
+        # The migrated layout still validates against the real target.
+        validate_layout(new_app.compiled)
+
+        # Every migrated entry is servable: the data plane hits on it.
+        migrated = {key for _row, key, _v in new_app.cached_entries()}
+        assert len(migrated) == report.kv_migrated
+        stats = new_app.run_trace(sorted(migrated))
+        assert stats.hits == len(migrated)
+
+    def test_exact_fold_preserves_overestimate(self, warm_old_app,
+                                               compiled32, mini32):
+        # Count-min invariant: after an exact fold, a key's estimate in
+        # the new sketch is at least its estimate in the old one.
+        new_app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32)
+        migrate_netcache_state(warm_old_app, new_app)
+        for key in list(warm_old_app._cached_keys)[:50]:
+            assert new_app._cms_estimate(key) >= warm_old_app._cms_estimate(key)
+
+    def test_hottest_entries_survive(self, warm_old_app, compiled32, mini32):
+        # Re-admission is heat-ranked: any dropped entry must be no
+        # hotter than the coldest migrated one.
+        new_app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32)
+        report = migrate_netcache_state(warm_old_app, new_app)
+        if report.kv_dropped == 0:
+            pytest.skip("nothing dropped at this cache ratio")
+        migrated = {key for _r, key, _v in new_app.cached_entries()}
+        dropped = {key for _r, key, _v in warm_old_app.cached_entries()
+                   if key not in migrated}
+        max_dropped = max(warm_old_app._cms_estimate(k) for k in dropped)
+        min_migrated = min(warm_old_app._cms_estimate(k) for k in migrated)
+        # Hash collisions can strand a hot key, but the orderings must
+        # broadly agree; with exact heat ranking the boundary estimates
+        # cannot invert by more than the collision slack.
+        assert min_migrated >= 1
+        assert max_dropped <= max(
+            warm_old_app._cms_estimate(k) for k in migrated
+        )
+
+    def test_values_preserved(self, warm_old_app, compiled32, mini32):
+        new_app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32)
+        migrate_netcache_state(warm_old_app, new_app)
+        old_values = {key: value
+                      for _r, key, value in warm_old_app.cached_entries()}
+        for _row, key, value in new_app.cached_entries():
+            assert old_values[key] == value
+
+    def test_old_app_untouched(self, warm_old_app, compiled32, mini32):
+        before_entries = sorted(warm_old_app.cached_entries())
+        before_sketch = [
+            warm_old_app.pipeline.registers.get(f"cms_sketch[{r}]").dump().copy()
+            for r in range(warm_old_app.cms_rows)
+        ]
+        new_app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32)
+        migrate_netcache_state(warm_old_app, new_app)
+        assert sorted(warm_old_app.cached_entries()) == before_entries
+        for row, dump in enumerate(before_sketch):
+            now = warm_old_app.pipeline.registers.get(
+                f"cms_sketch[{row}]").dump()
+            assert np.array_equal(now, dump)
+
+    def test_migrate_to_same_layout_is_lossless(self, warm_old_app,
+                                                compiled64, mini64):
+        new_app = NetCacheApp(mini64, hot_threshold=4, compiled=compiled64)
+        report = migrate_netcache_state(warm_old_app, new_app)
+        assert report.kv_dropped == 0
+        assert report.kv_migrated == report.kv_entries_old
+        assert report.cms_exact_fold
+        assert sorted(new_app.cached_entries()) == sorted(
+            warm_old_app.cached_entries()
+        )

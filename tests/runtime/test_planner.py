@@ -1,0 +1,88 @@
+"""Reconfiguration planner: retry, backoff, fallback, telemetry."""
+
+import pytest
+
+from repro.core import CompileOptions
+from repro.pisa.resources import small_target
+from repro.runtime import PlanError, ReconfigPlanner, TelemetryBus
+
+from .conftest import RUNTIME_SOURCE
+
+
+class TestIlpPath:
+    def test_plan_solves_with_ilp(self, mini64):
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(telemetry=bus)
+        result = planner.plan(RUNTIME_SOURCE, mini64, cause="initial")
+        assert result.backend == "ilp"
+        assert not result.fallback
+        assert result.symbol_values["kv_cols"] > 0
+        assert result.attempts[-1]["outcome"] == "ok"
+        assert bus.events_of("compile_attempt")
+        assert not bus.events_of("ilp_fallback")
+
+
+class TestTimeoutFallback:
+    def test_forced_timeout_degrades_to_greedy(self, mini64):
+        """The acceptance scenario: an impossibly small ILP time limit
+        must degrade to the greedy layout with no unhandled exception,
+        and the telemetry must record the fallback."""
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(
+            options=CompileOptions(time_limit=1e-4),
+            telemetry=bus,
+            max_retries=1,
+            backoff=2.0,
+        )
+        result = planner.plan(RUNTIME_SOURCE, mini64, cause="target-change")
+        assert result.backend == "greedy"
+        assert result.fallback
+        assert result.compiled.units          # a real, populated layout
+        assert result.symbol_values["kv_cols"] >= 1
+
+        # Two ILP attempts (initial + one retry with backoff), then greedy.
+        timeouts = [a for a in result.attempts
+                    if a["outcome"].startswith("timeout")
+                    or a["outcome"] == "degenerate-incumbent"]
+        assert len(timeouts) == 2
+        assert result.attempts[-1]["backend"] == "greedy"
+        assert result.attempts[-1]["outcome"] == "ok"
+
+        fallbacks = bus.events_of("ilp_fallback")
+        assert len(fallbacks) == 1
+        assert fallbacks[0].data["attempts"] == 2
+
+    def test_backoff_scales_time_limit(self, mini64):
+        planner = ReconfigPlanner(
+            options=CompileOptions(time_limit=1e-4),
+            max_retries=2,
+            backoff=4.0,
+        )
+        result = planner.plan(RUNTIME_SOURCE, mini64)
+        ilp_attempts = [a for a in result.attempts if a["backend"] != "greedy"]
+        limits = [a["time_limit"] for a in ilp_attempts]
+        assert limits == [pytest.approx(1e-4), pytest.approx(4e-4),
+                          pytest.approx(1.6e-3)]
+
+    def test_greedy_backend_skips_ilp(self, mini64):
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(
+            options=CompileOptions(backend="greedy"), telemetry=bus
+        )
+        result = planner.plan(RUNTIME_SOURCE, mini64)
+        assert result.backend == "greedy"
+        assert not result.fallback            # greedy was requested, not forced
+        assert len(result.attempts) == 1
+        assert not bus.events_of("ilp_fallback")
+
+
+class TestInfeasible:
+    def test_infeasible_target_raises_plan_error(self):
+        # small_target has 2 stateful ALUs/stage — NetCache genuinely
+        # does not fit, so even greedy cannot help.
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(telemetry=bus)
+        with pytest.raises(PlanError):
+            planner.plan(RUNTIME_SOURCE, small_target(stages=6, memory_kb=64))
+        attempts = bus.events_of("compile_attempt")
+        assert attempts[-1].data["outcome"] == "infeasible"

@@ -1,0 +1,68 @@
+"""Telemetry bus tests."""
+
+import json
+
+from repro.runtime import TelemetryBus
+
+
+class TestTelemetryBus:
+    def test_emit_and_query(self):
+        bus = TelemetryBus()
+        bus.emit("window", packet_index=100, hit_rate=0.5)
+        bus.emit("rollback", packet_index=200, error="boom")
+        bus.emit("window", packet_index=300, hit_rate=0.6)
+        assert len(bus) == 3
+        assert [e.kind for e in bus.events] == ["window", "rollback", "window"]
+        assert len(bus.events_of("window")) == 2
+        assert bus.last_of("window").data["hit_rate"] == 0.6
+        assert bus.last_of("missing") is None
+
+    def test_sequence_is_monotone(self):
+        bus = TelemetryBus()
+        for _ in range(5):
+            bus.emit("tick")
+        assert [e.seq for e in bus.events] == list(range(5))
+
+    def test_events_are_json_serializable(self):
+        bus = TelemetryBus()
+        event = bus.emit("migration", packet_index=1, kv_migrated=3,
+                         notes=["a", "b"])
+        decoded = json.loads(event.to_json())
+        assert decoded["kind"] == "migration"
+        assert decoded["kv_migrated"] == 3
+        assert decoded["packet_index"] == 1
+
+    def test_subscriber_sees_every_event(self):
+        bus = TelemetryBus()
+        seen = []
+        bus.subscribe(lambda e: seen.append(e.kind))
+        bus.emit("a")
+        bus.emit("b")
+        assert seen == ["a", "b"]
+
+    def test_jsonl_sink_streams(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        bus = TelemetryBus(sink=path)
+        bus.emit("a", x=1)
+        bus.emit("b", y=2)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[1])["kind"] == "b"
+
+    def test_write_jsonl_dump(self, tmp_path):
+        bus = TelemetryBus()
+        bus.emit("a")
+        bus.emit("b")
+        path = tmp_path / "dump.jsonl"
+        assert bus.write_jsonl(path) == 2
+        assert len(path.read_text().strip().splitlines()) == 2
+
+    def test_empty_bus_is_falsy_but_preserved(self):
+        # Regression guard: an empty bus has len 0 (falsy), so consumers
+        # must None-check instead of using `bus or TelemetryBus()`.
+        bus = TelemetryBus()
+        assert not bus
+        from repro.runtime import ReconfigPlanner
+
+        planner = ReconfigPlanner(telemetry=bus)
+        assert planner.telemetry is bus

@@ -70,3 +70,75 @@ class TestOtherCommands:
 
     def test_library_unknown(self, capsys):
         assert main(["library", "nope"]) == 2
+
+
+class TestSolverFlags:
+    def test_backend_choices_rejected(self, cms_file, capsys):
+        with pytest.raises(SystemExit):
+            main(["compile", str(cms_file), "--backend", "cplex"])
+
+    def test_greedy_backend_compiles(self, cms_file, capsys):
+        code = main([
+            "compile", str(cms_file), "--target", "small",
+            "--backend", "greedy",
+        ])
+        assert code == 0
+        out, _err = capsys.readouterr()
+        assert "register<bit<32>>" in out
+
+    def test_tiny_time_limit_reports_structured_error(self, cms_file, capsys):
+        code = main([
+            "compile", str(cms_file), "--target", "small",
+            "--time-limit", "0.00001",
+        ])
+        assert code == 1
+        _out, err = capsys.readouterr()
+        assert "time limit" in err
+
+    def test_every_compiling_subcommand_accepts_solver_flags(self, cms_file):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        for sub in ("compile", "bounds", "graph"):
+            args = parser.parse_args(
+                [sub, str(cms_file), "--backend", "bb", "--time-limit", "2"]
+            )
+            assert args.backend == "bb" and args.time_limit == 2.0
+        args = parser.parse_args(["run", "--backend", "greedy"])
+        assert args.backend == "greedy"
+
+
+class TestRunCommand:
+    def test_run_no_cut_smoke(self, capsys, tmp_path):
+        json_path = tmp_path / "report.json"
+        code = main([
+            "run", "--stages", "6", "--memory", "65536",
+            "--packets", "3000", "--window", "300", "--seed", "7",
+            "--no-cut", "--json", str(json_path),
+        ])
+        assert code == 0
+        out, _err = capsys.readouterr()
+        assert "processed 3000 packets" in out
+        assert "final layout" in out
+
+        import json
+
+        report = json.loads(json_path.read_text())
+        assert report["packets"] == 3000
+        assert report["reconfigs"] == []
+        assert len(report["timeline"]) == 10
+
+    def test_run_events_jsonl(self, capsys, tmp_path):
+        import json
+
+        events_path = tmp_path / "events.jsonl"
+        code = main([
+            "run", "--stages", "6", "--memory", "65536",
+            "--packets", "1000", "--window", "500", "--no-cut",
+            "--events", str(events_path),
+        ])
+        assert code == 0
+        kinds = [json.loads(line)["kind"]
+                 for line in events_path.read_text().strip().splitlines()]
+        assert "configured" in kinds
+        assert kinds.count("window") == 2

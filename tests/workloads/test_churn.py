@@ -41,3 +41,57 @@ class TestChurningZipf:
     def test_invalid_churn(self):
         with pytest.raises(ValueError):
             ChurningZipf(100, churn=1.5)
+        with pytest.raises(ValueError):
+            ChurningZipf(100, churn=-0.1)
+
+    def test_churn_bounds_accepted(self):
+        # Both endpoints of [0, 1] are legal.
+        ChurningZipf(100, churn=0.0).sample(10)
+        ChurningZipf(100, churn=1.0).sample(10)
+
+    def test_split_sampling_matches_one_shot(self):
+        # Drawing in pieces crosses phase boundaries at the same points
+        # as one big draw, so the streams must be identical.
+        one = ChurningZipf(1000, phase_packets=100, churn=0.4, seed=9)
+        split = ChurningZipf(1000, phase_packets=100, churn=0.4, seed=9)
+        whole = one.sample(450)
+        parts = np.concatenate([split.sample(n) for n in (50, 200, 120, 80)])
+        assert np.array_equal(whole, parts)
+        assert one.rotations == split.rotations == 4
+
+    def test_full_churn_replaces_hot_set(self):
+        gen = ChurningZipf(5000, phase_packets=50, churn=1.0,
+                           hot_ranks=100, seed=8)
+        before = gen.hot_set()
+        gen.sample(50)  # one rotation at churn=1.0
+        after = gen.hot_set()
+        assert before.isdisjoint(after)
+
+    def test_churn_fraction_swaps_expected_count(self):
+        gen = ChurningZipf(5000, phase_packets=50, churn=0.25,
+                           hot_ranks=200, seed=10)
+        before = gen.hot_set()
+        gen.sample(50)
+        survivors = before & gen.hot_set()
+        # Exactly churn*hot_ranks ranks were swapped out; a swapped-in
+        # cold key cannot collide with a surviving hot key.
+        assert len(survivors) == 150
+
+    def test_rotation_preserves_key_universe(self):
+        gen = ChurningZipf(300, phase_packets=20, churn=0.5,
+                           hot_ranks=50, seed=11)
+        gen.sample(200)  # several rotations
+        mapping = gen.generator._rank_to_key
+        assert sorted(int(k) for k in mapping) == list(range(1, 301))
+
+    def test_packets_sampled_counter(self):
+        gen = ChurningZipf(100, phase_packets=64, seed=12)
+        gen.sample(10)
+        gen.sample(25)
+        assert gen.packets_sampled == 35
+
+    def test_hot_set_helper_defaults_to_hot_ranks(self):
+        gen = ChurningZipf(1000, hot_ranks=40, seed=13)
+        hot = gen.hot_set()
+        assert len(hot) == 40
+        assert hot == {int(k) for k in gen.hottest(40)}
