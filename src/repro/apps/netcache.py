@@ -129,17 +129,20 @@ class NetCacheApp:
         kv_min_total_bits: int | None = None,
         source: str | None = None,
         compiled: CompiledProgram | None = None,
+        engine: str | None = None,
     ):
         """Pass ``compiled`` to load an existing artifact instead of
         compiling — the elastic runtime compiles through its planner
-        (with timeout fallback) and hands the artifact in here."""
+        (with timeout fallback) and hands the artifact in here.
+        ``engine`` selects the pipeline execution engine (default: the
+        compiled plan engine; see :func:`repro.pisa.default_engine`)."""
         self.source = source or netcache_source(
             utility=utility, kv_min_total_bits=kv_min_total_bits
         )
         self.compiled: CompiledProgram = compiled or compile_source(
             self.source, target, options=options, source_name="netcache"
         )
-        self.pipeline = Pipeline(self.compiled)
+        self.pipeline = Pipeline(self.compiled, engine=engine)
         self.hot_threshold = hot_threshold
         self.kv_rows = self.compiled.symbol_values.get("kv_rows", 0)
         self.kv_cols = self.compiled.symbol_values.get("kv_cols", 0)
@@ -231,21 +234,29 @@ class NetCacheApp:
 
     # -- trace processing -------------------------------------------------------
     def run_trace(self, keys, dst: int = 1) -> NetCacheStats:
-        """Process a key-request trace; returns hit statistics."""
+        """Process a key-request trace; returns hit statistics.
+
+        Streams through :meth:`Pipeline.process_many`'s callback mode:
+        the controller reacts to each result (promotion, eviction)
+        between packets without a result list ever being built."""
         stats = NetCacheStats()
-        for key in keys:
-            result = self.pipeline.process(
-                Packet(fields={"req_key": int(key), "dst": dst})
-            )
+        key_list = [int(key) for key in keys]
+        result_keys = iter(key_list)
+
+        def controller(result):
+            key = next(result_keys)
             stats.packets += 1
             if result.get("meta.kv_hit"):
                 stats.hits += 1
             else:
                 estimate = result.get("meta.cms_min")
                 if estimate >= self.hot_threshold and key not in self._cached_keys:
-                    self._try_cache(
-                        int(key), self.value_of(int(key)), estimate, stats
-                    )
+                    self._try_cache(key, self.value_of(key), estimate, stats)
+
+        self.pipeline.process_many(
+            (Packet(fields={"req_key": key, "dst": dst}) for key in key_list),
+            callback=controller,
+        )
         return stats
 
 

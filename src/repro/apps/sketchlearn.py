@@ -89,9 +89,12 @@ class SketchLearnApp:
         self.packets = 0
 
     def run_trace(self, keys) -> None:
-        for key in keys:
-            self.pipeline.process(Packet(fields={"flow_id": int(key)}))
-            self.packets += 1
+        # Streaming mode: only the register state matters here, so skip
+        # materializing a PipelineResult list for trace-scale inputs.
+        self.packets += self.pipeline.process_many(
+            (Packet(fields={"flow_id": int(key)}) for key in keys),
+            collect=False,
+        )
 
     def level_counts(self, level: int):
         """Control-plane read of one level's counters."""

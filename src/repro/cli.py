@@ -5,7 +5,7 @@ Subcommands::
     p4all compile prog.p4all --target tofino [-o out.p4] [--report]
     p4all bounds  prog.p4all --target tofino     # unroll bounds only
     p4all graph   prog.p4all                     # dependency graph (DOT)
-    p4all run     [--packets N] [--cut-at N]     # elastic runtime demo
+    p4all run     [--packets N] [--cut-at N] [--engine E] [--profile]
     p4all targets                                # list target specs
     p4all library [name]                         # dump library module source
 
@@ -152,6 +152,7 @@ def _cmd_run(args) -> int:
         window_packets=args.window,
         hot_threshold=args.hot_threshold,
         migrate_state=not args.no_migrate,
+        engine=args.engine,
     )
     print(f"compiling NetCache for {target.describe()}", file=sys.stderr)
     runtime = ElasticRuntime(
@@ -175,7 +176,12 @@ def _cmd_run(args) -> int:
         print(f"scheduled memory cut to {cut_bits} bits/stage at packet "
               f"{cut_at}", file=sys.stderr)
 
-    report = runtime.run(stream, packets=args.packets)
+    from .profiling import profiled
+
+    with profiled(args.profile):
+        report = runtime.run(stream, packets=args.packets)
+    if args.profile:
+        print(f"wrote profile to {args.profile}", file=sys.stderr)
     print(report.format())
     fallbacks = telemetry.events_of("ilp_fallback")
     if fallbacks:
@@ -285,6 +291,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="stream telemetry events to a JSONL file")
     p_run.add_argument("--json", default=None, metavar="PATH",
                        help="write the run report as JSON")
+    p_run.add_argument("--engine", default=None,
+                       choices=["compiled", "interp"],
+                       help="pipeline execution engine: the compiled plan "
+                            "engine or the reference tree-walking "
+                            "interpreter (default: compiled, or "
+                            "REPRO_PISA_ENGINE)")
+    p_run.add_argument("--profile", nargs="?", const="p4all_run_profile.txt",
+                       default=None, metavar="PATH",
+                       help="profile the run with cProfile and write sorted "
+                            "cumulative stats to PATH "
+                            "(default: p4all_run_profile.txt)")
     _add_target_arg(p_run)
     _add_solver_args(p_run)
     p_run.set_defaults(func=_cmd_run)

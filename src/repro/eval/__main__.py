@@ -5,6 +5,8 @@ Usage::
     python -m repro.eval                 # everything, printed
     python -m repro.eval fig09 fig11     # selected experiments
     python -m repro.eval --out results/  # also write one .txt per figure
+    python -m repro.eval runtime --profile --out results/
+                                         # + cProfile stats per experiment
 """
 
 from __future__ import annotations
@@ -110,6 +112,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", type=Path, default=None,
                         help="directory for per-experiment .txt outputs")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap each experiment in cProfile and write "
+                             "sorted cumulative stats next to its output "
+                             "(<name>_profile.txt in --out, or the cwd)")
     args = parser.parse_args(argv)
 
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
@@ -118,14 +124,23 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.out:
         args.out.mkdir(parents=True, exist_ok=True)
+    from ..profiling import profiled
+
     for name in args.experiments:
         title, runner = EXPERIMENTS[name]
+        profile_path = None
+        if args.profile:
+            report_dir = args.out or Path(".")
+            profile_path = report_dir / f"{name}_profile.txt"
         started = time.perf_counter()
-        text = runner()
+        with profiled(profile_path):
+            text = runner()
         elapsed = time.perf_counter() - started
         banner = f"=== {title} ({elapsed:.1f}s) ==="
         print(banner)
         print(text)
+        if profile_path is not None:
+            print(f"profile: {profile_path}", file=sys.stderr)
         print()
         if args.out:
             (args.out / f"{name}.txt").write_text(text + "\n")

@@ -15,7 +15,14 @@ from .packet import Packet, make_flow_packets
 from .parser import Deparser, FieldSpec, PacketParser, ParseState
 from .parser import ParseError as PacketParseError
 from .phv import Phv, PhvError, PhvLayout
-from .pipeline import Pipeline, PipelineResult, ValidationError
+from .pipeline import (
+    ENGINES,
+    Pipeline,
+    PipelineResult,
+    ValidationError,
+    default_engine,
+)
+from .plan import PipelinePlan, StagePlan, UnitPlan
 from .registers import RegisterArray, RegisterError, RegisterFile
 from .targetspec import load_target, save_target, target_from_dict, target_to_dict
 from .resources import (
@@ -48,9 +55,14 @@ __all__ = [
     "Phv",
     "PhvError",
     "PhvLayout",
+    "ENGINES",
     "Pipeline",
     "PipelineResult",
     "ValidationError",
+    "default_engine",
+    "PipelinePlan",
+    "StagePlan",
+    "UnitPlan",
     "load_target",
     "save_target",
     "target_from_dict",

@@ -19,6 +19,7 @@ control-plane helpers (:meth:`table_add`, :meth:`register_dump`, ...).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..lang import ast
@@ -31,7 +32,23 @@ from .registers import RegisterFile
 from .resources import TargetSpec
 from .tables import MatchActionTable, TableEntry
 
-__all__ = ["Pipeline", "PipelineResult", "ValidationError"]
+__all__ = ["Pipeline", "PipelineResult", "ValidationError",
+           "ENGINES", "default_engine"]
+
+#: Available execution engines: the tree-walking reference interpreter
+#: and the compile-once plan engine (see repro.pisa.compiled).
+ENGINES = ("compiled", "interp")
+
+
+def default_engine() -> str:
+    """Engine used when ``Pipeline(engine=None)``: the ``REPRO_PISA_ENGINE``
+    environment variable, or ``"compiled"``."""
+    engine = os.environ.get("REPRO_PISA_ENGINE", ENGINES[0])
+    if engine not in ENGINES:
+        raise ValueError(
+            f"REPRO_PISA_ENGINE={engine!r} is not one of {ENGINES}"
+        )
+    return engine
 
 
 class ValidationError(Exception):
@@ -56,7 +73,8 @@ class Pipeline:
     """Executable pipeline built from a compiled program."""
 
     def __init__(self, compiled, hash_kind: str = "multiply-shift",
-                 validate: bool = True, meta_prefix: str = "meta"):
+                 validate: bool = True, meta_prefix: str = "meta",
+                 engine: str | None = None):
         self.compiled = compiled
         self.target: TargetSpec = compiled.target
         self.info = compiled.info
@@ -71,6 +89,18 @@ class Pipeline:
         self.tables = self._build_tables()
         self._stage_units = self._organize_units()
         self.packets_processed = 0
+        self._packet_keys: dict[str, str] = {}
+        self.engine = engine if engine is not None else default_engine()
+        if self.engine not in ENGINES:
+            raise ValueError(f"unknown engine {self.engine!r}; "
+                             f"choose one of {ENGINES}")
+        self.plan = None
+        self._plan_run = None
+        if self.engine == "compiled":
+            from .compiled import build_plan
+
+            self.plan = build_plan(self)
+            self._plan_run = self.plan.fast_run or self.plan.run
         if validate:
             self.validate()
 
@@ -208,23 +238,54 @@ class Pipeline:
         return fn(*values, width=width)
 
     # -- data plane -------------------------------------------------------------
+    def _packet_key(self, name: str) -> str:
+        """Resolve a packet field name to its PHV key (cached)."""
+        key = self._packet_keys.get(name)
+        if key is not None:
+            return key
+        meta_key = f"{self.meta_prefix}.{name}"
+        hdr_key = f"hdr.{name}"
+        if meta_key in self.phv_layout:
+            key = meta_key
+        elif hdr_key in self.phv_layout:
+            key = hdr_key
+        else:
+            raise SimulationError(
+                f"packet field {name!r} matches no metadata or header field"
+            )
+        self._packet_keys[name] = key
+        return key
+
     def _load_packet(self, packet: Packet) -> dict[str, int]:
-        values: dict[str, int] = {}
-        for name, value in packet.fields.items():
-            meta_key = f"{self.meta_prefix}.{name}"
-            hdr_key = f"hdr.{name}"
-            if meta_key in self.phv_layout:
-                values[meta_key] = int(value)
-            elif hdr_key in self.phv_layout:
-                values[hdr_key] = int(value)
-            else:
-                raise SimulationError(
-                    f"packet field {name!r} matches no metadata or header field"
-                )
-        return values
+        resolve = self._packet_key
+        return {resolve(name): int(value)
+                for name, value in packet.fields.items()}
 
     def process(self, packet: Packet) -> PipelineResult:
-        """Run one packet through all stages; returns the final PHV."""
+        """Run one packet through all stages; returns the final PHV.
+
+        Dispatches to the configured engine: ``"compiled"`` executes the
+        pre-lowered plan (see :mod:`repro.pisa.compiled`), ``"interp"``
+        walks the AST — the reference semantics the differential tests
+        hold the plan engine to.
+        """
+        if self.plan is not None:
+            return self._process_compiled(packet)
+        return self._process_interp(packet)
+
+    def _process_compiled(self, packet: Packet) -> PipelineResult:
+        masks = self.plan.masks
+        resolve = self._packet_key
+        phv: dict[str, int] = {}
+        for name, value in packet.fields.items():
+            key = resolve(name)
+            phv[key] = int(value) & masks[key]
+        table_hits: dict[str, bool] = {}
+        self._plan_run(phv, table_hits)
+        self.packets_processed += 1
+        return PipelineResult(phv=phv, table_hits=table_hits)
+
+    def _process_interp(self, packet: Packet) -> PipelineResult:
         phv = self.phv_layout.instantiate()
         phv.load(self._load_packet(packet))
         table_hits: dict[str, bool] = {}
@@ -265,6 +326,34 @@ class Pipeline:
         self.packets_processed += 1
         return PipelineResult(phv=phv.snapshot(), table_hits=table_hits)
 
-    def process_many(self, packets) -> list[PipelineResult]:
-        """Run a packet sequence; returns per-packet results."""
-        return [self.process(p) for p in packets]
+    def process_many(self, packets, collect: bool = True,
+                     callback=None) -> list[PipelineResult] | int:
+        """Run a packet sequence through the pipeline (batched fast path).
+
+        Three modes:
+
+        * default (``collect=True``): returns the per-packet
+          :class:`PipelineResult` list — fine for test-scale runs, but it
+          materializes every result; trace-scale callers should prefer
+          one of the streaming modes below;
+        * ``callback=fn``: streams each result to ``fn(result)`` as it is
+          produced and returns the packet count — the controller can act
+          between packets (promotion, eviction) without a result list
+          ever existing;
+        * ``collect=False`` (no callback): discards results entirely and
+          returns the packet count — for workloads that only care about
+          the register state left behind.
+        """
+        if callback is not None:
+            count = 0
+            for packet in packets:
+                callback(self.process(packet))
+                count += 1
+            return count
+        if collect:
+            return [self.process(p) for p in packets]
+        count = 0
+        for packet in packets:
+            self.process(packet)
+            count += 1
+        return count

@@ -1,0 +1,144 @@
+"""Execution-plan IR for the compiled pipeline engine.
+
+A :class:`PipelinePlan` is what the one-time lowering pass in
+:mod:`repro.pisa.compiled` produces from a placed program: per stage, a
+flat list of :class:`UnitPlan` closures with every static decision —
+field keys, register instances, hash seeds, constant subexpressions,
+guard predicates — already resolved, so the per-packet hot loop does no
+AST walking, no name resolution, and no full-PHV snapshots.
+
+Closure calling conventions (shared with :mod:`compiled`):
+
+* expression: ``fn(phv, local, args) -> int`` — ``phv`` is the committed
+  PHV dict (read-only during a stage), ``local`` the unit's buffered
+  writes, ``args`` the bound action-data tuple (``()`` at unit level);
+* step (statement): ``fn(phv, local, args, hits) -> None`` — ``hits``
+  collects per-packet table-hit flags.
+
+Stage semantics are preserved without copying: commits are deferred to
+stage exit, so reads against the live ``phv`` dict during a stage *are*
+stage-entry reads. The per-stage read/write sets (lifted from the
+dependency analysis) document exactly which fields a stage touches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from .interp import SimulationError
+from .phv import PhvError
+
+__all__ = ["UnitPlan", "StagePlan", "PipelinePlan"]
+
+
+@dataclass(frozen=True)
+class UnitPlan:
+    """One placed unit lowered to closures."""
+
+    label: str
+    guard: Optional[Callable]        # predicate or None (always runs)
+    steps: tuple                     # step closures, in statement order
+    reads: frozenset = frozenset()   # static read-set (field keys)
+    writes: frozenset = frozenset()  # static write-set (field keys)
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """All units of one (non-empty) stage plus its touched-field sets."""
+
+    stage: int
+    units: tuple
+    reads: frozenset = frozenset()
+    writes: frozenset = frozenset()
+
+
+@dataclass
+class PipelinePlan:
+    """The compiled program's per-stage execution plan.
+
+    Two execution tiers share this structure:
+
+    * :meth:`run` walks the closure plan — the generic tier, able to
+      execute anything the interpreter can;
+    * ``fast_run``, when set by the lowering pass, is a
+      ``compile()``-generated function that inlines every fully static
+      stage (direct dict operations, literal width masks, bound
+      register/hash methods) and calls back into :meth:`run_stage` for
+      stages with table applies, dynamic keys, or potentially
+      conflicting write-sets. ``fast_source`` keeps the generated code
+      for inspection.
+    """
+
+    stages: list[StagePlan] = field(default_factory=list)
+    masks: dict[str, int] = field(default_factory=dict)  # field key -> width mask
+    fast_run: Optional[Callable] = field(default=None, repr=False)
+    fast_source: str = field(default="", repr=False)
+
+    def run(self, phv: dict, hits: dict) -> None:
+        """Execute one packet: mutate ``phv`` in place, record ``hits``.
+
+        Matches the interpreter's snapshot/commit semantics exactly:
+        every unit reads stage-entry values (the live dict, since
+        commits are deferred), writes buffer in a unit-local dict (a
+        unit's later statements see its earlier writes, unmasked), and
+        conflicting same-stage writes raise :class:`SimulationError`.
+        """
+        for splan in self.stages:
+            self.run_stage(splan, phv, hits)
+
+    def run_stage(self, splan: StagePlan, phv: dict, hits: dict) -> None:
+        """Execute one stage of the closure plan (the generic tier)."""
+        masks = self.masks
+        units = splan.units
+        if len(units) == 1:
+            unit = units[0]
+            local: dict = {}
+            if unit.guard is not None and not unit.guard(phv, local, ()):
+                return
+            for step in unit.steps:
+                step(phv, local, (), hits)
+            for key, value in local.items():
+                mask = masks.get(key)
+                if mask is None:
+                    raise PhvError(f"PHV field {key!r} was never allocated")
+                phv[key] = int(value) & mask
+            return
+        commits: dict = {}
+        owners: dict = {}
+        for unit in units:
+            local = {}
+            if unit.guard is not None and not unit.guard(phv, local, ()):
+                continue
+            for step in unit.steps:
+                step(phv, local, (), hits)
+            for key, value in local.items():
+                if key in commits:
+                    if commits[key] != value:
+                        raise SimulationError(
+                            f"stage {splan.stage}: units {owners[key]!r} and "
+                            f"{unit.label!r} write different values to {key!r}"
+                        )
+                else:
+                    commits[key] = value
+                    owners[key] = unit.label
+        for key, value in commits.items():
+            mask = masks.get(key)
+            if mask is None:
+                raise PhvError(f"PHV field {key!r} was never allocated")
+            phv[key] = int(value) & mask
+
+    def describe(self) -> str:
+        """Human-readable plan summary (stages, units, touched fields)."""
+        fast = " (codegen fast path active)" if self.fast_run is not None else ""
+        lines = [f"execution plan: {len(self.stages)} active stages{fast}"]
+        for splan in self.stages:
+            lines.append(
+                f"  stage {splan.stage}: "
+                + ", ".join(u.label for u in splan.units)
+            )
+            if splan.reads:
+                lines.append(f"    reads:  {', '.join(sorted(splan.reads))}")
+            if splan.writes:
+                lines.append(f"    writes: {', '.join(sorted(splan.writes))}")
+        return "\n".join(lines)

@@ -108,7 +108,10 @@ class RegisterArray:
             raise RegisterError(
                 f"register {self.name!r}: load shape {arr.shape} != ({self.cells},)"
             )
-        self._data = arr & np.uint64(self.mask)
+        # In place, never a reassignment: compiled execution plans bind
+        # this buffer directly, and a control-plane load (state
+        # migration) must stay visible to them.
+        self._data[:] = arr & np.uint64(self.mask)
 
     def __repr__(self) -> str:
         return f"RegisterArray({self.name!r}, cells={self.cells}, width={self.width})"

@@ -1,0 +1,46 @@
+"""First-class profiling hooks for the CLI and the eval harness.
+
+``p4all run --profile`` and ``python -m repro.eval runtime --profile``
+wrap their packet-processing phase in :func:`profiled`, which writes
+sorted cumulative ``cProfile`` stats to a text file in the report
+directory — so performance work starts from a measurement, not a guess.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = ["profiled"]
+
+
+@contextmanager
+def profiled(path: str | Path | None, sort: str = "cumulative",
+             limit: int = 60):
+    """Profile the with-body and write sorted stats to ``path``.
+
+    A no-op when ``path`` is None, so call sites can pass the optional
+    CLI flag straight through. The report is plain ``pstats`` text
+    (sorted by ``sort``, top ``limit`` rows) followed by a callers
+    section for the hottest rows.
+    """
+    if path is None:
+        yield None
+        return
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        buffer = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buffer)
+        stats.sort_stats(sort).print_stats(limit)
+        stats.print_callers(15)
+        out = Path(path)
+        if out.parent != Path(""):
+            out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(buffer.getvalue())

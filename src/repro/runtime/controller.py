@@ -52,6 +52,7 @@ class RuntimeConfig:
     migrate_state: bool = True        # run the state migrator on swap
     validate_swap: bool = True        # re-validate + canary before commit
     drift_reconfig: bool = True       # arm the drift trigger at all
+    engine: str | None = None         # pipeline engine (None = default)
 
 
 @dataclass
@@ -210,6 +211,7 @@ class ElasticRuntime:
             hot_threshold=self.config.hot_threshold,
             source=self.source,
             compiled=compiled,
+            engine=self.config.engine,
         )
 
     # -- operator interface ----------------------------------------------------
@@ -327,7 +329,12 @@ class ElasticRuntime:
 
     def _canary(self, app: NetCacheApp) -> None:
         """One packet through the candidate pipeline before commit: it
-        must process cleanly, and a migrated hot key must actually hit."""
+        must process cleanly, and a migrated hot key must actually hit.
+
+        The candidate runs the same engine the runtime is configured
+        with (default: the compiled plan engine), so the canary also
+        exercises the candidate's freshly built execution plan before
+        traffic is cut over to it."""
         if app._cached_keys:
             key = next(iter(app._cached_keys))
             result = app.pipeline.process(Packet(fields={"req_key": key}))

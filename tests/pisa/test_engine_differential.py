@@ -1,0 +1,182 @@
+"""Differential testing: compiled plan engine ≡ tree-walking interpreter.
+
+The compiled engine (`repro.pisa.compiled`) is an optimization, not a
+semantics change: for every example app — CMS, Bloom filter, key-value
+store, NetCache with its routing table — random packet streams must
+produce identical PHV results, table hits, and final register state on
+both engines, including after a runtime hot-swap with state migration.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import compile_source
+from repro.pisa import Packet, Pipeline, small_target
+from repro.structures import BLOOM_SOURCE, CMS_SOURCE, KV_SOURCE
+
+_SETTINGS = settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+flow_ids = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    min_size=1, max_size=60,
+)
+
+
+@pytest.fixture(scope="module")
+def small6():
+    return small_target(stages=6, memory_kb=32)
+
+
+@pytest.fixture(scope="module", params=["cms", "bloom", "kv"],
+                ids=["cms", "bloom", "kv"])
+def compiled_app(request, small6):
+    source = {"cms": CMS_SOURCE, "bloom": BLOOM_SOURCE,
+              "kv": KV_SOURCE}[request.param]
+    return compile_source(source, small6, source_name=request.param)
+
+
+def _register_state(pipeline):
+    state = {}
+    for alloc in pipeline.compiled.registers:
+        name = f"{alloc.family}[{alloc.index}]"
+        state[name] = list(pipeline.registers.get(name).dump())
+    return state
+
+
+def assert_equivalent(compiled, packets, prepare=None):
+    """Run the same packets through both engines; everything must match."""
+    engines = {}
+    for engine in ("compiled", "interp"):
+        pipe = Pipeline(compiled, engine=engine)
+        if prepare is not None:
+            prepare(pipe)
+        results = pipe.process_many(list(packets))
+        engines[engine] = (pipe, results)
+    pc, rc = engines["compiled"]
+    pi, ri = engines["interp"]
+    for n, (a, b) in enumerate(zip(rc, ri)):
+        assert a.phv == b.phv, f"packet {n}: PHV diverged"
+        assert a.table_hits == b.table_hits, f"packet {n}: hits diverged"
+    assert _register_state(pc) == _register_state(pi)
+
+
+class TestExampleApps:
+    @_SETTINGS
+    @given(flows=flow_ids)
+    def test_library_apps_equivalent(self, compiled_app, flows):
+        packets = [Packet(fields={"flow_id": f}) for f in flows]
+        assert_equivalent(compiled_app, packets)
+
+    def test_compiled_engine_builds_plan(self, compiled_app):
+        pipe = Pipeline(compiled_app, engine="compiled")
+        assert pipe.plan is not None
+        assert pipe.plan.stages
+        # All three library apps are fully static: the codegen fast path
+        # must have kicked in (it is where the throughput target lives).
+        assert pipe.plan.fast_run is not None
+        assert "def _fast_run" in pipe.plan.fast_source
+
+
+class TestNetCache:
+    """Tables, actions with data, guards, and the cache controller."""
+
+    @pytest.fixture(scope="class")
+    def nc_compiled(self):
+        import dataclasses
+
+        from repro.apps.netcache import netcache_source
+        from repro.pisa.resources import tofino
+
+        mini = dataclasses.replace(
+            tofino(), stages=6, memory_bits_per_stage=64 * 1024
+        )
+        return compile_source(
+            netcache_source(), mini, source_name="netcache"
+        )
+
+    @_SETTINGS
+    @given(
+        keys=st.lists(st.integers(min_value=1, max_value=200),
+                      min_size=1, max_size=60),
+        dsts=st.lists(st.integers(min_value=0, max_value=5),
+                      min_size=1, max_size=60),
+    )
+    def test_route_table_and_sketch_equivalent(self, nc_compiled, keys, dsts):
+        def prepare(pipe):
+            pipe.table_add("route", (1,), "set_port", (7,))
+            pipe.table_add("route", (2,), "set_port", (9,))
+
+        packets = [
+            Packet(fields={"req_key": k, "dst": d})
+            for k, d in zip(keys, dsts * (len(keys) // len(dsts) + 1))
+        ]
+        assert_equivalent(nc_compiled, packets, prepare=prepare)
+
+    def test_app_with_controller_equivalent(self, nc_compiled):
+        import dataclasses
+
+        from repro.apps.netcache import NetCacheApp
+        from repro.pisa.resources import tofino
+        from repro.workloads import ZipfGenerator
+
+        mini = dataclasses.replace(
+            tofino(), stages=6, memory_bits_per_stage=64 * 1024
+        )
+        keys = ZipfGenerator(1000, alpha=1.3, seed=17).sample(2000)
+        apps = {}
+        for engine in ("compiled", "interp"):
+            app = NetCacheApp(mini, hot_threshold=4, compiled=nc_compiled,
+                              engine=engine)
+            apps[engine] = (app, app.run_trace(keys))
+        ac, sc = apps["compiled"]
+        ai, si = apps["interp"]
+        assert sc == si
+        assert sorted(ac.cached_entries()) == sorted(ai.cached_entries())
+        assert _register_state(ac.pipeline) == _register_state(ai.pipeline)
+
+
+class TestPostMigration:
+    """Equivalence must survive a hot-swap: warm a pipeline, migrate its
+    state into a smaller layout, and diff the engines on the new app."""
+
+    def test_migrated_apps_equivalent(self):
+        import dataclasses
+
+        from repro.apps.netcache import NetCacheApp, netcache_source
+        from repro.pisa.resources import tofino
+        from repro.runtime import migrate_netcache_state
+        from repro.workloads import ZipfGenerator
+
+        mini64 = dataclasses.replace(
+            tofino(), stages=6, memory_bits_per_stage=64 * 1024
+        )
+        mini32 = dataclasses.replace(mini64, memory_bits_per_stage=32 * 1024)
+        source = netcache_source(with_routing=False)
+        compiled64 = compile_source(source, mini64, source_name="netcache")
+        compiled32 = compile_source(source, mini32, source_name="netcache")
+
+        old = NetCacheApp(mini64, hot_threshold=4, compiled=compiled64)
+        old.run_trace(ZipfGenerator(1500, alpha=1.3, seed=5).sample(3000))
+        assert old.cached_entries()
+
+        new_apps = {}
+        for engine in ("compiled", "interp"):
+            app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32,
+                              engine=engine)
+            migrate_netcache_state(old, app)
+            new_apps[engine] = app
+        ac, ai = new_apps["compiled"], new_apps["interp"]
+        assert _register_state(ac.pipeline) == _register_state(ai.pipeline)
+
+        # Post-swap traffic behaves identically on both engines.
+        keys = ZipfGenerator(1500, alpha=1.3, seed=6).sample(2000)
+        sc, si = ac.run_trace(keys), ai.run_trace(keys)
+        assert sc == si
+        assert sorted(ac.cached_entries()) == sorted(ai.cached_entries())
+        assert _register_state(ac.pipeline) == _register_state(ai.pipeline)
