@@ -5,13 +5,19 @@ use the added resources; the key-value store's items are far larger than
 the sketch's counters, so the store takes the larger share of memory.
 """
 
+import os
+
 from repro.eval import run_memory_sweep
 
 
 def _sweep():
     # Defaults include M = 0.25 Mb/stage, where the CMS is still below
     # its diminishing-returns caps, so the sketch curve's growth shows.
-    return run_memory_sweep()
+    # The six per-cut compiles are independent and fan out over a
+    # process pool (HiGHS holds the GIL, so threads cannot overlap the
+    # solves); on a single-core box this degrades to the sequential
+    # path.
+    return run_memory_sweep(workers=min(6, os.cpu_count() or 1))
 
 
 def test_fig12_memory_sweep(benchmark):

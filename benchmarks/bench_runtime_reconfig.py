@@ -9,7 +9,10 @@ the headline numbers:
 * ``plan/migrate breakdown`` — compile phase timings from telemetry;
 * ``kv_loss_fraction`` — cache entries dropped by the shrink;
 * ``recovery_ratio`` — post-swap steady hit rate vs the pre-cut
-  baseline, for the migrated and the cold swap.
+  baseline, for the migrated and the cold swap;
+* ``solver_stats`` — the planner's solver statistics for the committed
+  reconfiguration (branch-and-bound nodes explored, where the incumbent
+  came from, and compile-cache hit counters).
 """
 
 import json
@@ -37,6 +40,12 @@ def test_runtime_reconfig(benchmark):
     assert migrated.backend == "ilp"
     assert 0.0 < migrated.reconfig_seconds < 60.0
 
+    # Solver observability rode along: incumbent provenance and the
+    # planner cache's counters (the cut recompile reuses the boot
+    # compile's front-end artifacts).
+    assert "incumbent_source" in migrated.solver_stats
+    assert migrated.solver_stats.get("frontend_hits", 0) >= 1
+
     # Migration moved most of the cache; the loss is the shrink's fault,
     # not the migrator's (the new cache is half the size).
     assert migrated.kv_entries_old > 0
@@ -61,6 +70,7 @@ def test_runtime_reconfig(benchmark):
         },
         "reconfig_seconds": migrated.reconfig_seconds,
         "backend": migrated.backend,
+        "solver_stats": migrated.solver_stats,
         "kv_entries_old": migrated.kv_entries_old,
         "kv_migrated": migrated.kv_migrated,
         "kv_loss_fraction": migrated.kv_loss,

@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 
 from .analysis import build_ir, compute_upper_bounds
-from .core import CompileOptions, compile_file, layout_report, summary_line
+from .core import CompileOptions, compile_file, layout_report, stats_report, summary_line
 from .core.errors import CompileError
 from .lang import P4AllError, check_program, parse_program
 from .pisa.resources import TARGETS, get_target
@@ -92,14 +92,23 @@ def _resolve_target(args):
 
 
 def _cmd_compile(args) -> int:
+    from .profiling import profiled
+
     target = _resolve_target(args)
-    compiled = compile_file(args.program, target, options=_compile_options(args))
+    with profiled(args.profile):
+        compiled = compile_file(
+            args.program, target, options=_compile_options(args)
+        )
+    if args.profile:
+        print(f"wrote profile to {args.profile}", file=sys.stderr)
     if args.output:
         Path(args.output).write_text(compiled.p4_source)
         print(f"wrote {args.output}")
     else:
         print(compiled.p4_source)
     print(summary_line(compiled), file=sys.stderr)
+    if args.stats:
+        print(stats_report(compiled), file=sys.stderr)
     if args.report:
         print(layout_report(compiled), file=sys.stderr)
     return 0
@@ -147,12 +156,14 @@ def _cmd_run(args) -> int:
         options=_compile_options(args),
         telemetry=telemetry,
         max_retries=args.max_retries,
+        race=args.race,
     )
     config = RuntimeConfig(
         window_packets=args.window,
         hot_threshold=args.hot_threshold,
         migrate_state=not args.no_migrate,
         engine=args.engine,
+        race=args.race,
     )
     print(f"compiling NetCache for {target.describe()}", file=sys.stderr)
     runtime = ElasticRuntime(
@@ -227,6 +238,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_compile.add_argument("--entry", default="Ingress", help="ingress control name")
     p_compile.add_argument("--report", action="store_true",
                            help="print the per-stage layout report")
+    p_compile.add_argument("--stats", action="store_true",
+                           help="print per-phase wall times (parse / IR / "
+                                "bounds / ILP build / solve / codegen)")
+    p_compile.add_argument("--profile", nargs="?",
+                           const="p4all_compile_profile.txt",
+                           default=None, metavar="PATH",
+                           help="profile the compile with cProfile and write "
+                                "sorted cumulative stats to PATH "
+                                "(default: p4all_compile_profile.txt)")
     _add_target_arg(p_compile)
     _add_solver_args(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
@@ -287,6 +307,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--max-retries", type=int, default=1,
                        help="ILP retries (with backoff) before the greedy "
                             "fallback (default: 1)")
+    p_run.add_argument("--race", action="store_true",
+                       help="race the ILP and the greedy layout per "
+                            "reconfiguration instead of the "
+                            "retry-then-fallback ladder")
     p_run.add_argument("--events", default=None, metavar="PATH",
                        help="stream telemetry events to a JSONL file")
     p_run.add_argument("--json", default=None, metavar="PATH",

@@ -8,9 +8,12 @@ Public entry points:
 * :class:`CompiledProgram` — the result artifact (symbol assignment,
   stage map, register allocation, concrete P4, timings);
 * :func:`layout_report` — Figure-7-style stage map rendering;
-* :func:`greedy_layout` — the greedy first-fit baseline for ablations.
+* :func:`greedy_layout` — the greedy first-fit baseline for ablations;
+* :class:`CompileCache` — phase/layout memoization for fast elastic
+  recompiles (wired in via :attr:`CompileOptions.cache`).
 """
 
+from .cache import CacheStats, CompileCache, source_fingerprint
 from .codegen import generate_p4
 from .driver import (
     CompileOptions,
@@ -27,11 +30,14 @@ from .errors import (
 from .greedy import GreedyResult, greedy_layout
 from .layout import LayoutBuilder, LayoutModel, LayoutOptions, LayoutSolution
 from .program import CompiledProgram, CompileStats, PlacedUnit, RegisterAlloc
-from .report import layout_report, summary_line
+from .report import layout_report, stats_report, summary_line
 from .tablemem import table_memory_bits
 from .validate import LayoutValidationError, validate_layout
 
 __all__ = [
+    "CacheStats",
+    "CompileCache",
+    "source_fingerprint",
     "generate_p4",
     "CompileOptions",
     "compile_file",
@@ -52,6 +58,7 @@ __all__ = [
     "PlacedUnit",
     "RegisterAlloc",
     "layout_report",
+    "stats_report",
     "summary_line",
     "table_memory_bits",
     "LayoutValidationError",

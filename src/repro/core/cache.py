@@ -1,0 +1,260 @@
+"""Compilation phase caches for fast elastic recompilation.
+
+The elastic runtime recompiles the *same* program again and again —
+only the target geometry (a memory cut, a stage change) or the utility
+varies between triggers. A cold compile re-runs every phase of
+Figure 8, yet the front-end artifacts (parse/AST, semantic info, IR)
+depend only on the source text, and the unroll bounds only on
+(source, target, unroll options). :class:`CompileCache` memoizes those
+phases, plus the *full* compile result, so that:
+
+* a recompile with only a changed :class:`~repro.pisa.resources.TargetSpec`
+  skips parsing, semantic checking, and IR construction entirely
+  (bounds are recomputed — they depend on the target — but that is the
+  cheap tail of the front end);
+* a recompile with nothing changed returns the previous
+  :class:`~repro.core.program.CompiledProgram` outright (compiled
+  programs are immutable once assembled — pipelines built from them
+  hold their own register state — so sharing is safe).
+
+Keys are content hashes of the source plus the frozen option/target
+dataclasses, never object identities, so two textually identical
+programs share cache entries. Hit/miss counters are kept per tier and
+can be exported on the runtime telemetry bus
+(:meth:`CompileCache.emit`); the :class:`~repro.runtime.planner.ReconfigPlanner`
+does this after every planning cycle.
+
+The cache is deliberately *not* a global: callers opt in through
+``CompileOptions(cache=...)`` (the planner installs one by default), so
+batch compiles and tests keep their cold-path semantics unless they ask
+otherwise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from ..analysis import build_ir, compute_upper_bounds
+from ..analysis.unroll import UnrollBounds, UnrollOptions
+from ..lang import check_program, parse_program
+from ..pisa.resources import TargetSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .driver import CompileOptions
+    from .program import CompiledProgram
+
+__all__ = ["CompileCache", "CacheStats", "source_fingerprint"]
+
+
+def source_fingerprint(source: str) -> str:
+    """Stable content hash of a program's source text."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters per cache tier (monotone; never reset by
+    eviction or invalidation, so rates stay meaningful over a run)."""
+
+    frontend_hits: int = 0
+    frontend_misses: int = 0
+    bounds_hits: int = 0
+    bounds_misses: int = 0
+    layout_hits: int = 0
+    layout_misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "frontend_hits": self.frontend_hits,
+            "frontend_misses": self.frontend_misses,
+            "bounds_hits": self.bounds_hits,
+            "bounds_misses": self.bounds_misses,
+            "layout_hits": self.layout_hits,
+            "layout_misses": self.layout_misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions,
+        }
+
+    @property
+    def total_hits(self) -> int:
+        return self.frontend_hits + self.bounds_hits + self.layout_hits
+
+
+@dataclass
+class _FrontendEntry:
+    """Phases 1-2 artifacts: parsed program, semantic info, IR."""
+
+    program: Any
+    info: Any
+    ir: Any
+
+
+class CompileCache:
+    """Memoizes compilation phases across recompiles.
+
+    Three tiers, from cheapest to most complete:
+
+    ========  ==========================================  =====================
+    tier      holds                                       keyed by
+    ========  ==========================================  =====================
+    frontend  AST + semantic info + IR                    (source hash, entry)
+    bounds    loop-unroll upper bounds                    + (target, unroll opts)
+    layout    the full ``CompiledProgram``                + (backend, time
+                                                          limit, layout opts)
+    ========  ==========================================  =====================
+
+    The layout tier is LRU-bounded by ``max_layouts`` (``0`` disables it
+    entirely — useful for benchmarks that want front-end reuse but fresh
+    solves). All operations are thread-safe: the planner's parallel
+    candidate race compiles on worker threads against a shared cache.
+    """
+
+    def __init__(self, max_layouts: int = 64):
+        self.max_layouts = max_layouts
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._frontend: dict[tuple, _FrontendEntry] = {}
+        self._bounds: dict[tuple, UnrollBounds] = {}
+        self._layouts: OrderedDict[tuple, "CompiledProgram"] = OrderedDict()
+
+    # -- phase 1-2: parse + check + IR -------------------------------------------
+    def frontend(self, source: str, entry: str, source_name: str = "<string>"):
+        """Return ``(program, info, ir, hit)`` for the source, memoized.
+
+        ``source_name`` only flavors diagnostics on a miss; hits reuse
+        the artifacts of whichever name compiled the text first.
+        """
+        key = (source_fingerprint(source), entry)
+        with self._lock:
+            cached = self._frontend.get(key)
+        if cached is not None:
+            self.stats.frontend_hits += 1
+            return cached.program, cached.info, cached.ir, True
+        self.stats.frontend_misses += 1
+        program = parse_program(source, source_name)
+        info = check_program(program)
+        ir = build_ir(info, entry)
+        with self._lock:
+            self._frontend[key] = _FrontendEntry(program, info, ir)
+        return program, info, ir, False
+
+    # -- phase 3: unroll bounds ----------------------------------------------------
+    def bounds(
+        self,
+        source: str,
+        entry: str,
+        ir,
+        target: TargetSpec,
+        options: UnrollOptions,
+    ) -> tuple[UnrollBounds, bool]:
+        """Return ``(bounds, hit)``; bounds depend on the target too."""
+        key = (source_fingerprint(source), entry, target, options)
+        with self._lock:
+            cached = self._bounds.get(key)
+        if cached is not None:
+            self.stats.bounds_hits += 1
+            return cached, True
+        self.stats.bounds_misses += 1
+        computed = compute_upper_bounds(ir, target, options)
+        with self._lock:
+            self._bounds[key] = computed
+        return computed, False
+
+    # -- full-result layout tier ---------------------------------------------------
+    def _layout_key(self, source: str, target: TargetSpec,
+                    options: "CompileOptions") -> tuple:
+        return (
+            source_fingerprint(source),
+            options.entry,
+            target,
+            options.backend,
+            options.time_limit,
+            options.layout,
+            options.unroll,
+        )
+
+    def get_layout(self, source: str, target: TargetSpec,
+                   options: "CompileOptions") -> "CompiledProgram | None":
+        if self.max_layouts <= 0:
+            return None
+        key = self._layout_key(source, target, options)
+        with self._lock:
+            compiled = self._layouts.get(key)
+            if compiled is not None:
+                self._layouts.move_to_end(key)
+        if compiled is None:
+            self.stats.layout_misses += 1
+            return None
+        self.stats.layout_hits += 1
+        return compiled
+
+    def put_layout(self, source: str, target: TargetSpec,
+                   options: "CompileOptions", compiled: "CompiledProgram") -> None:
+        if self.max_layouts <= 0:
+            return
+        key = self._layout_key(source, target, options)
+        with self._lock:
+            self._layouts[key] = compiled
+            self._layouts.move_to_end(key)
+            while len(self._layouts) > self.max_layouts:
+                self._layouts.popitem(last=False)
+                self.stats.evictions += 1
+
+    # -- invalidation --------------------------------------------------------------
+    def invalidate(self, source: str | None = None) -> int:
+        """Drop cached artifacts; returns the number of entries removed.
+
+        With ``source`` given, only entries derived from that text are
+        dropped (the operator edited one program); with ``None``,
+        everything goes.
+        """
+        with self._lock:
+            if source is None:
+                removed = (len(self._frontend) + len(self._bounds)
+                           + len(self._layouts))
+                self._frontend.clear()
+                self._bounds.clear()
+                self._layouts.clear()
+            else:
+                fp = source_fingerprint(source)
+                removed = 0
+                for store in (self._frontend, self._bounds, self._layouts):
+                    stale = [k for k in store if k[0] == fp]
+                    for k in stale:
+                        del store[k]
+                    removed += len(stale)
+        if removed:
+            self.stats.invalidations += 1
+        return removed
+
+    def clear(self) -> int:
+        """Alias for full invalidation."""
+        return self.invalidate()
+
+    # -- introspection ---------------------------------------------------------------
+    def snapshot(self) -> dict[str, int]:
+        """Counters plus current sizes, as one flat JSON-friendly dict."""
+        out = self.stats.to_dict()
+        with self._lock:
+            out["frontend_entries"] = len(self._frontend)
+            out["bounds_entries"] = len(self._bounds)
+            out["layout_entries"] = len(self._layouts)
+        return out
+
+    def emit(self, telemetry, **extra) -> None:
+        """Export the counters as a ``compile_cache`` telemetry event."""
+        telemetry.emit("compile_cache", **self.snapshot(), **extra)
+
+    def __repr__(self) -> str:
+        s = self.stats
+        return (
+            f"CompileCache(frontend {s.frontend_hits}h/{s.frontend_misses}m, "
+            f"bounds {s.bounds_hits}h/{s.bounds_misses}m, "
+            f"layout {s.layout_hits}h/{s.layout_misses}m)"
+        )

@@ -23,6 +23,7 @@ artifact the elastic runtime falls back to when the ILP times out.
 
 from __future__ import annotations
 
+import dataclasses
 import time
 from pathlib import Path
 
@@ -32,6 +33,7 @@ from ..lang import check_program, parse_program
 from ..lang.symbols import eval_static
 from ..ilp import SolveStatus
 from ..pisa.resources import TargetSpec
+from .cache import CompileCache
 from .codegen import generate_p4
 from .errors import CompileError
 from .layout import LayoutBuilder, LayoutOptions, LayoutSolution
@@ -56,6 +58,8 @@ class CompileOptions:
         layout: LayoutOptions | None = None,
         unroll: UnrollOptions | None = None,
         verify: bool = True,
+        cache: CompileCache | None = None,
+        warm_start: LayoutSolution | None = None,
     ):
         self.entry = entry
         #: ILP backend (``auto``/``scipy``/``bb``) or ``greedy`` for the
@@ -69,10 +73,52 @@ class CompileOptions:
         #: re-check the produced layout against every resource/dependency
         #: rule (cheap; catches formulation bugs at the source).
         self.verify = verify
+        #: optional :class:`~repro.core.cache.CompileCache` — reuses
+        #: front-end artifacts across recompiles and short-circuits
+        #: identical compiles entirely.
+        self.cache = cache
+        #: optional previous :class:`LayoutSolution` to seed the
+        #: branch-and-bound solver's incumbent (ignored by backends that
+        #: cannot use it).
+        self.warm_start = warm_start
+
+    def replace(self, **updates) -> "CompileOptions":
+        """A copy with the given fields updated (options are not frozen,
+        but callers treat them as immutable once a compile starts)."""
+        fields = dict(
+            entry=self.entry,
+            backend=self.backend,
+            time_limit=self.time_limit,
+            layout=self.layout,
+            unroll=self.unroll,
+            verify=self.verify,
+            cache=self.cache,
+            warm_start=self.warm_start,
+        )
+        fields.update(updates)
+        return CompileOptions(**fields)
 
 
 def _run_frontend(source, target, options, source_name, stats):
-    """Phases 1-3: parse, check, build IR, compute unroll bounds."""
+    """Phases 1-3: parse, check, build IR, compute unroll bounds.
+
+    With a :class:`CompileCache` on the options, parse/check/IR are
+    served from the frontend tier (one lookup instead of three phases)
+    and bounds from the per-target bounds tier."""
+    cache = options.cache
+    if cache is not None:
+        t0 = time.perf_counter()
+        program, info, ir, hit = cache.frontend(source, options.entry, source_name)
+        stats.frontend_cached = hit
+        stats.parse_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bounds, bhit = cache.bounds(source, options.entry, ir, target, options.unroll)
+        stats.bounds_cached = bhit
+        stats.bounds_seconds = time.perf_counter() - t0
+        stats.analysis_seconds = stats.bounds_seconds
+        return program, info, ir, bounds
+
     t0 = time.perf_counter()
     program = parse_program(source, source_name)
     info = check_program(program)
@@ -80,8 +126,12 @@ def _run_frontend(source, target, options, source_name, stats):
 
     t0 = time.perf_counter()
     ir = build_ir(info, options.entry)
+    stats.ir_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
     bounds = compute_upper_bounds(ir, target, options.unroll)
-    stats.analysis_seconds = time.perf_counter() - t0
+    stats.bounds_seconds = time.perf_counter() - t0
+    stats.analysis_seconds = stats.ir_seconds + stats.bounds_seconds
     return program, info, ir, bounds
 
 
@@ -148,6 +198,17 @@ def compile_source(
     options = options or CompileOptions()
     if options.backend == "greedy":
         return compile_source_greedy(source, target, options, source_name)
+    cache = options.cache
+    if cache is not None:
+        cached = cache.get_layout(source, target, options)
+        if cached is not None:
+            # Share the artifact, but stamp a fresh stats record so the
+            # caller can see this compile was served from cache (the
+            # original's phase timings are preserved for reference).
+            return dataclasses.replace(
+                cached,
+                stats=dataclasses.replace(cached.stats, layout_cached=True),
+            )
     stats = CompileStats()
     program, info, ir, bounds = _run_frontend(
         source, target, options, source_name, stats
@@ -163,7 +224,10 @@ def compile_source(
     optimize = program.optimize()
     utility = optimize.utility if optimize is not None else None
     solution = builder.solve(
-        utility=utility, backend=options.backend, time_limit=options.time_limit
+        utility=utility,
+        backend=options.backend,
+        time_limit=options.time_limit,
+        warm_start=options.warm_start,
     )
     stats.ilp_solve_seconds = solution.solve_seconds
     # Constraints may have been added during utility linearization.
@@ -179,7 +243,10 @@ def compile_source(
         solution=solution,
         stats=stats,
     )
-    return _assemble(compiled, lm.instances, solution, options)
+    compiled = _assemble(compiled, lm.instances, solution, options)
+    if cache is not None:
+        cache.put_layout(source, target, options, compiled)
+    return compiled
 
 
 def compile_source_greedy(

@@ -193,6 +193,21 @@ def greedy_layout(
     family_cells: dict[str, int] = {}
     for (fam, _idx), cells in share_cells.items():
         family_cells[fam] = min(family_cells.get(fam, 1 << 62), cells)
+    # Families sized by the *same symbol* must also agree across
+    # families — the symbol has one value. NetCache's kv_keys/kv_val0/
+    # kv_val1 are all [kv_cols]: letting them diverge leaves the data
+    # plane with key arrays longer than the value arrays they index.
+    symbol_cells: dict[str, int] = {}
+    for fam, cells in family_cells.items():
+        size = info.registers[fam].decl.size
+        if isinstance(size, ast.Name):
+            symbol_cells[size.ident] = min(
+                symbol_cells.get(size.ident, 1 << 62), cells
+            )
+    for fam in family_cells:
+        size = info.registers[fam].decl.size
+        if isinstance(size, ast.Name):
+            family_cells[fam] = symbol_cells[size.ident]
     register_alloc: dict[tuple[str, int], tuple[int, int]] = {}
     for (fam, idx), stage in reg_stage.items():
         reg = info.registers[fam]

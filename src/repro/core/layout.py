@@ -103,6 +103,10 @@ class LayoutModel:
         self.free_sym_vars: dict[str, object] = {}        # unused symbolics
         self.loop_symbolics: list[str] = []
         self.counts: dict[str, int] = {}
+        # min()-linearization aux vars with their arms, recorded by
+        # utility.linearize_term so warm-start encodings can repair them
+        # (aux := min over arm values) after assigning the real variables.
+        self.min_aux: list[tuple[object, list[LinExpr]]] = []
 
     # -- symbolic-value expressions ----------------------------------------------
     def symbolic_expr(self, name: str) -> LinExpr:
@@ -150,6 +154,8 @@ class LayoutSolution:
     backend: str
     num_variables: int
     num_constraints: int
+    nodes_explored: int = 0
+    incumbent_source: str = ""
 
     @property
     def ok(self) -> bool:
@@ -280,7 +286,9 @@ class LayoutBuilder:
                     f"register {fam.name!r}: one {fam.cell_bits}-bit cell does not "
                     f"fit in a stage ({self.target.memory_bits_per_stage} bits)"
                 )
-            for sym in fam.size_symbolics:
+            # size_symbolics is a frozenset; sort so variable creation
+            # order (and thus LP text) is independent of PYTHONHASHSEED.
+            for sym in sorted(fam.size_symbolics):
                 sym_caps[sym] = min(sym_caps.get(sym, cap), cap)
         for sym, cap in sym_caps.items():
             lm.size_vars[sym] = model.add_var(
@@ -631,14 +639,124 @@ class LayoutBuilder:
                     name=f"symbreak[{sym},{i}]",
                 )
 
+    # ---------------------------------------------------------------- warm start --
+    def encode_assignment(
+        self,
+        symbol_values: dict[str, int],
+        instance_stage: dict[int, int | None],
+        register_alloc: dict[tuple[str, int], tuple[int, int]],
+        iteration_active: dict[tuple[str, int], bool],
+    ) -> dict | None:
+        """Translate a decoded layout back into an ILP variable assignment.
+
+        Returns ``None`` when the layout cannot be expressed in this
+        model (e.g. instances of one dependency node mapped to different
+        stages, which happens when the instance universe shifted between
+        targets). The result is *not* feasibility-checked here — callers
+        gate on :meth:`Model.is_feasible` — but ``min()`` aux variables
+        are repaired so a genuinely feasible layout round-trips. Must be
+        called after the objective is attached (aux vars exist then).
+        """
+        lm = self.layout
+        values: dict = {var: 0.0 for var in lm.x.values()}
+
+        # x: node placements, derived from per-instance stages.
+        node_stage: dict[int, int | None] = {}
+        by_uid = {inst.uid: inst for inst in lm.instances}
+        for uid, stage in instance_stage.items():
+            inst = by_uid.get(uid)
+            if inst is None:
+                continue  # instance existed only under the old bounds
+            nid = lm.graph.node_of(inst).node_id
+            if nid in node_stage and node_stage[nid] != stage:
+                return None  # grouped instances must share a stage
+            node_stage[nid] = stage
+        for nid, stage in node_stage.items():
+            if stage is None:
+                continue
+            var = lm.x.get((nid, stage))
+            if var is None:
+                return None  # stage out of range for this target
+            values[var] = 1.0
+
+        for (sym, i), var in lm.it.items():
+            values[var] = 1.0 if iteration_active.get((sym, i), False) else 0.0
+        for sym, var in lm.size_vars.items():
+            val = float(symbol_values.get(sym, var.lb))
+            values[var] = min(max(val, var.lb), var.ub)
+        for sym, var in lm.free_sym_vars.items():
+            val = float(symbol_values.get(sym, var.lb))
+            values[var] = min(max(val, var.lb), var.ub)
+        for key, var in lm.m.items():
+            values[var] = 0.0
+        for (fam, idx), (stage, cells) in register_alloc.items():
+            var = lm.m.get((fam, idx, stage))
+            if var is None:
+                return None
+            values[var] = min(float(cells), var.ub)
+        # Aux vars from min() linearization: tight value is the arm min.
+        for aux, arms in lm.min_aux:
+            values[aux] = min(arm.value(values) for arm in arms)
+        return values
+
+    def encode_warm_start(self, prev: LayoutSolution) -> dict | None:
+        """Encode a previous layout as a feasible incumbent, if it still is.
+
+        A layout solved for an earlier target often remains feasible
+        after a resource change (e.g. a memory *increase*, or a cut the
+        layout happened not to exceed); re-validated against the new
+        model it becomes a free lower bound for branch and bound. Returns
+        ``None`` when the old layout no longer fits."""
+        values = self.encode_assignment(
+            prev.symbol_values,
+            prev.instance_stage,
+            prev.register_alloc,
+            prev.iteration_active,
+        )
+        if values is None or not self.layout.model.is_feasible(values, tol=1e-6):
+            return None
+        return values
+
+    def greedy_warm_start(self) -> dict | None:
+        """Encode the greedy first-fit layout as an incumbent.
+
+        Always available (greedy never fails short of true
+        infeasibility), so it is the fallback seed when the previous
+        layout does not survive the target change."""
+        from .greedy import greedy_layout
+
+        result = greedy_layout(self.ir, self.bounds, self.target)
+        iteration_active = {
+            (inst.symbolic, inst.iteration):
+                result.instance_stage[inst.uid] is not None
+            for inst in result.instances
+            if inst.symbolic is not None
+        }
+        values = self.encode_assignment(
+            result.symbol_values,
+            result.instance_stage,
+            result.register_alloc,
+            iteration_active,
+        )
+        if values is None or not self.layout.model.is_feasible(values, tol=1e-6):
+            return None
+        return values
+
     # ------------------------------------------------------------------- solve --
     def solve(
         self,
         utility: ast.Expr | None = None,
         backend: str = "auto",
         time_limit: float | None = None,
+        warm_start: LayoutSolution | None = None,
     ) -> LayoutSolution:
-        """Build (if needed), attach the objective, solve, and decode."""
+        """Build (if needed), attach the objective, solve, and decode.
+
+        ``warm_start`` is a previous :class:`LayoutSolution` to seed the
+        solver's incumbent: re-encoded and re-validated against *this*
+        model, with the greedy layout as fallback seed when the previous
+        layout no longer fits the target. Only the branch-and-bound
+        backend can exploit it; others ignore the seed."""
         from .utility import linearize_utility
 
         lm = self.layout
@@ -651,7 +769,15 @@ class LayoutBuilder:
             for (node_id, s), var in lm.x.items():
                 objective += (-self.options.stage_bias * s) * LinExpr.from_term(var)
         lm.model.maximize(objective)
-        solution = solve(lm.model, backend=backend, time_limit=time_limit)
+        warm_values = None
+        if warm_start is not None:
+            warm_values = self.encode_warm_start(warm_start)
+            if warm_values is None:
+                warm_values = self.greedy_warm_start()
+        solution = solve(
+            lm.model, backend=backend, time_limit=time_limit,
+            warm_start=warm_values,
+        )
         if solution.status is SolveStatus.INFEASIBLE:
             raise LayoutInfeasibleError(
                 "the layout ILP is infeasible: the program cannot fit on "
@@ -712,6 +838,8 @@ class LayoutBuilder:
             backend=solution.backend,
             num_variables=lm.model.num_variables,
             num_constraints=lm.model.num_constraints,
+            nodes_explored=solution.nodes_explored,
+            incumbent_source=solution.incumbent_source,
         )
 
 

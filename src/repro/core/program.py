@@ -56,15 +56,27 @@ class RegisterAlloc:
 
 @dataclass
 class CompileStats:
-    """Per-phase timings (seconds) and ILP size."""
+    """Per-phase timings (seconds) and ILP size.
+
+    ``analysis_seconds`` covers IR construction plus unroll bounds; the
+    ``ir_seconds``/``bounds_seconds`` sub-splits exist for
+    ``p4all compile --stats`` and the compile-latency benchmark. The
+    ``*_cached`` flags record which phases were served from a
+    :class:`~repro.core.cache.CompileCache` (their timings then measure
+    the lookup, not the work)."""
 
     parse_seconds: float = 0.0
     analysis_seconds: float = 0.0
+    ir_seconds: float = 0.0
+    bounds_seconds: float = 0.0
     ilp_build_seconds: float = 0.0
     ilp_solve_seconds: float = 0.0
     codegen_seconds: float = 0.0
     ilp_variables: int = 0
     ilp_constraints: int = 0
+    frontend_cached: bool = False
+    bounds_cached: bool = False
+    layout_cached: bool = False
 
     @property
     def total_seconds(self) -> float:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from .program import CompiledProgram
 
-__all__ = ["layout_report", "summary_line"]
+__all__ = ["layout_report", "stats_report", "summary_line"]
 
 
 def summary_line(compiled: CompiledProgram) -> str:
@@ -17,6 +17,42 @@ def summary_line(compiled: CompiledProgram) -> str:
         f"ILP {compiled.stats.ilp_variables} vars / "
         f"{compiled.stats.ilp_constraints} constrs)"
     )
+
+
+def stats_report(compiled: CompiledProgram) -> str:
+    """Per-phase wall-time table (``p4all compile --stats``).
+
+    Phases served from a :class:`~repro.core.cache.CompileCache` are
+    flagged ``(cached)`` — their time is the lookup, not the work."""
+    s = compiled.stats
+    front = " (cached)" if s.frontend_cached else ""
+    bound = " (cached)" if s.bounds_cached else ""
+    rows = [
+        ("parse + check", s.parse_seconds, front),
+        ("IR + dependencies", s.ir_seconds, front),
+        ("unroll bounds", s.bounds_seconds, bound),
+        ("ILP build", s.ilp_build_seconds, ""),
+        ("ILP solve", s.ilp_solve_seconds, ""),
+        ("codegen", s.codegen_seconds, ""),
+    ]
+    width = max(len(name) for name, _, _ in rows)
+    lines = [f"Compile phases for {compiled.source_name}:"]
+    if s.layout_cached:
+        lines[0] += " (served from layout cache; original compile's timings)"
+    for name, seconds, note in rows:
+        lines.append(f"  {name:<{width}}  {seconds * 1e3:10.3f} ms{note}")
+    lines.append(f"  {'total':<{width}}  {s.total_seconds * 1e3:10.3f} ms")
+    lines.append(
+        f"  ILP size: {s.ilp_variables} variables, "
+        f"{s.ilp_constraints} constraints "
+        f"({compiled.solution.backend or 'n/a'}"
+        + (f", {compiled.solution.nodes_explored} nodes"
+           if compiled.solution.nodes_explored else "")
+        + (f", incumbent from {compiled.solution.incumbent_source}"
+           if compiled.solution.incumbent_source else "")
+        + ")"
+    )
+    return "\n".join(lines)
 
 
 def layout_report(compiled: CompiledProgram) -> str:

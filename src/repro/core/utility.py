@@ -84,6 +84,7 @@ def linearize_term(expr: ast.Expr, lm: LayoutModel, info: ProgramInfo) -> LinExp
             lm.model.add_constr(
                 LinExpr.from_term(aux) <= arm, name=f"util_min[{k}]"
             )
+        lm.min_aux.append((aux, arms))
         return LinExpr.from_term(aux)
     raise UtilityError(
         f"cannot linearize utility term of kind {type(expr).__name__}"

@@ -67,42 +67,74 @@ class ElasticitySweep:
         )
 
 
+def _compile_point(source: str, mbit: float, backend: str) -> ElasticityPoint:
+    """Compile one memory cut. Module-level (and closure-free) so it can
+    cross a process boundary: HiGHS holds the GIL while solving, so the
+    parallel sweep needs processes, not threads."""
+    bits = int(mbit * MEGABIT)
+    target = dataclasses.replace(tofino(), memory_bits_per_stage=bits)
+    compiled = compile_source(
+        source, target, options=CompileOptions(backend=backend),
+        source_name="netcache",
+    )
+    syms = compiled.symbol_values
+    cms_bits = sum(
+        r.size_bits for r in compiled.registers if r.family == "cms_sketch"
+    )
+    kv_bits = sum(
+        r.size_bits for r in compiled.registers if r.family.startswith("kv_")
+    )
+    return ElasticityPoint(
+        memory_bits_per_stage=bits,
+        cms_rows=syms.get("cms_rows", 0),
+        cms_cols=syms.get("cms_cols", 0),
+        kv_rows=syms.get("kv_rows", 0),
+        kv_cols=syms.get("kv_cols", 0),
+        cms_bits=cms_bits,
+        kv_bits=kv_bits,
+    )
+
+
 def run_memory_sweep(
     memory_options_mbit: tuple[float, ...] = (0.25, 0.5, 1.0, 1.75, 2.5, 4.0),
     utility: str = NETCACHE_UTILITY,
     max_cms_cols: int = 16384,
     kv_min_total_bits: int | None = None,
     backend: str = "auto",
+    workers: int | None = None,
 ) -> ElasticitySweep:
-    """Compile NetCache at several per-stage memory sizes."""
+    """Compile NetCache at several per-stage memory sizes.
+
+    The per-memory-cut compiles are independent, so they fan out across
+    a **process** pool (HiGHS does not release the GIL, so threads
+    cannot overlap the solves). ``workers`` defaults to one per cut,
+    capped at the CPU count; pass ``1`` to force the sequential path,
+    which is also the automatic fallback where multiprocessing is
+    unavailable."""
+    import os
+    from concurrent.futures import ProcessPoolExecutor
+
     sweep = ElasticitySweep()
     source = netcache_source(utility=utility, kv_min_total_bits=kv_min_total_bits)
     source = source.replace(
         "assume cms_cols <= 65536;", f"assume cms_cols <= {max_cms_cols};"
     )
-    for mbit in memory_options_mbit:
-        bits = int(mbit * MEGABIT)
-        target = dataclasses.replace(tofino(), memory_bits_per_stage=bits)
-        compiled = compile_source(
-            source, target, options=CompileOptions(backend=backend),
-            source_name="netcache",
-        )
-        syms = compiled.symbol_values
-        cms_bits = sum(
-            r.size_bits for r in compiled.registers if r.family == "cms_sketch"
-        )
-        kv_bits = sum(
-            r.size_bits for r in compiled.registers if r.family.startswith("kv_")
-        )
-        sweep.points.append(
-            ElasticityPoint(
-                memory_bits_per_stage=bits,
-                cms_rows=syms.get("cms_rows", 0),
-                cms_cols=syms.get("cms_cols", 0),
-                kv_rows=syms.get("kv_rows", 0),
-                kv_cols=syms.get("kv_cols", 0),
-                cms_bits=cms_bits,
-                kv_bits=kv_bits,
-            )
-        )
+
+    if workers is None:
+        workers = min(len(memory_options_mbit), os.cpu_count() or 1)
+    if workers > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                # map() preserves input order: points stay sorted by M.
+                sweep.points = list(pool.map(
+                    _compile_point,
+                    [source] * len(memory_options_mbit),
+                    memory_options_mbit,
+                    [backend] * len(memory_options_mbit),
+                ))
+            return sweep
+        except OSError:  # no process spawning (sandboxes, some CI)
+            pass
+    sweep.points = [_compile_point(source, m, backend)
+                    for m in memory_options_mbit]
     return sweep

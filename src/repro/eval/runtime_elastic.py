@@ -87,6 +87,9 @@ class ScenarioOutcome:
     kv_loss: float
     symbols_before: dict[str, int] = field(default_factory=dict)
     symbols_after: dict[str, int] = field(default_factory=dict)
+    #: planner solver statistics for the committed reconfiguration
+    #: (nodes explored, incumbent source, cache hit counters).
+    solver_stats: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -167,6 +170,7 @@ def _run_once(scenario: RuntimeScenario, migrate: bool,
         kv_loss=migration.kv_loss_fraction if migration is not None else 1.0,
         symbols_before=symbols_before,
         symbols_after=dict(report.final_symbols),
+        solver_stats=dict(rec.solver_stats) if rec is not None else {},
     )
 
 

@@ -40,8 +40,13 @@ def _unique_names(model: Model) -> dict:
 
 
 def _expr_text(terms, names) -> str:
+    # Terms sorted by emitted name: LinExpr term dicts are built in
+    # whatever order the modeling code touched variables, which is not a
+    # property the serialized text should expose — sorted output makes
+    # two builds of the same model byte-identical, so the LP text can
+    # serve as a model fingerprint.
     parts = []
-    for var, coef in terms.items():
+    for var, coef in sorted(terms.items(), key=lambda kv: names[kv[0]]):
         if coef == 0:
             continue
         sign = "-" if coef < 0 else "+"
@@ -56,7 +61,13 @@ def _expr_text(terms, names) -> str:
 
 def model_to_lp(model: Model) -> str:
     """Serialize the model in CPLEX LP format (objective in the model's
-    own sense; constraint constants folded into the right-hand side)."""
+    own sense; constraint constants folded into the right-hand side).
+
+    The output is deterministic: terms within every expression and the
+    variables of the Bounds/General/Binary sections are emitted in
+    sorted-name order, independent of construction order and
+    ``PYTHONHASHSEED``. Constraints keep model order (their ``_i``
+    suffix is the model index, which is already stable)."""
     names = _unique_names(model)
     lines = [f"\\ {model.name}"]
     lines.append("Maximize" if model.objective.maximize else "Minimize")
@@ -70,13 +81,17 @@ def model_to_lp(model: Model) -> str:
             f" {label}_{i}: {_expr_text(constr.expr.terms, names)} {op} {rhs:.12g}"
         )
     lines.append("Bounds")
-    for var in model.variables:
+    for var in sorted(model.variables, key=lambda v: names[v]):
         name = names[var]
         lo = "-inf" if math.isinf(var.lb) else f"{var.lb:.12g}"
         hi = "+inf" if math.isinf(var.ub) else f"{var.ub:.12g}"
         lines.append(f" {lo} <= {name} <= {hi}")
-    general = [names[v] for v in model.variables if v.vartype is VarType.INTEGER]
-    binary = [names[v] for v in model.variables if v.vartype is VarType.BINARY]
+    general = sorted(
+        names[v] for v in model.variables if v.vartype is VarType.INTEGER
+    )
+    binary = sorted(
+        names[v] for v in model.variables if v.vartype is VarType.BINARY
+    )
     if general:
         lines.append("General")
         lines.append(" " + " ".join(general))

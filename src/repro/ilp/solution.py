@@ -54,6 +54,11 @@ class Solution:
     solve_seconds: float = 0.0
     backend: str = ""
     nodes_explored: int = 0
+    #: Where the final incumbent came from: ``"warm-start"`` (a caller-
+    #: provided seed the search never improved on), ``"rounding"`` (the
+    #: rounding heuristic), ``"search"`` (an integral LP relaxation), or
+    #: ``""`` for backends that don't track provenance.
+    incumbent_source: str = ""
 
     @property
     def has_incumbent(self) -> bool:

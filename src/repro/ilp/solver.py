@@ -29,21 +29,27 @@ def solve(
     model: Model,
     backend: str = "auto",
     time_limit: float | None = None,
+    warm_start: "dict | None" = None,
 ) -> Solution:
     """Solve a model with the chosen backend.
 
     ``backend`` is ``"auto"`` (prefer HiGHS), ``"scipy"``, or ``"bb"``.
+    ``warm_start`` is an optional feasible assignment (Var → value) used
+    to seed the incumbent; backends without warm-start support (scipy's
+    ``milp`` exposes none) accept and ignore it.
     """
     if backend == "auto":
         backend = available_backends()[0]
     if backend == "scipy":
         from .solver_scipy import solve_scipy
 
-        return solve_scipy(model, time_limit=time_limit)
+        return solve_scipy(model, time_limit=time_limit, warm_start=warm_start)
     if backend == "bb":
         from .solver_bb import solve_branch_and_bound
 
-        return solve_branch_and_bound(model, time_limit=time_limit)
+        return solve_branch_and_bound(
+            model, time_limit=time_limit, warm_start=warm_start
+        )
     raise SolverError(
         f"unknown ILP backend {backend!r}; options: auto, scipy, bb "
         "(the compile driver additionally accepts 'greedy', which bypasses "

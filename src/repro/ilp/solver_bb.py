@@ -107,12 +107,20 @@ def solve_branch_and_bound(
     model: Model,
     time_limit: float | None = None,
     max_nodes: int = 200_000,
+    warm_start: dict | None = None,
 ) -> Solution:
     """Solve ``model`` exactly via LP-based branch and bound.
 
     Raises :class:`SolverError` only on unusable models; resource
     exhaustion is reported through :class:`SolveStatus.TIMEOUT` with the
     best incumbent found so far.
+
+    ``warm_start`` (Var → value) seeds the incumbent before the search
+    begins, so nodes whose LP bound cannot beat the seeded objective are
+    pruned instead of explored — the previous layout is a ready-made
+    lower bound on a recompile. Infeasible seeds are silently ignored
+    (the search simply starts cold), so callers may pass best-effort
+    re-encodings of stale solutions.
     """
     c, a, lo, hi, (lbs0, ubs0), integrality = model.to_matrix_form()
     int_idx = np.nonzero(integrality)[0]
@@ -129,7 +137,15 @@ def solve_branch_and_bound(
     seq = itertools.count()
     incumbent_x: np.ndarray | None = None
     incumbent_obj = math.inf  # minimization objective (c already negated for max)
+    incumbent_source = ""
     nodes_explored = 0
+
+    if warm_start is not None and model.is_feasible(warm_start, tol=1e-6):
+        arr = np.array([float(warm_start.get(v, 0.0)) for v in model.variables])
+        arr[int_idx] = np.round(arr[int_idx])
+        incumbent_x = arr
+        incumbent_obj = float(c @ arr)
+        incumbent_source = "warm-start"
 
     status0, x0, obj0 = _solve_lp(c, a, lo, hi, lbs0, ubs0)
     if status0 is SolveStatus.INFEASIBLE:
@@ -163,6 +179,7 @@ def solve_branch_and_bound(
             snapped = x.copy()
             snapped[int_idx] = np.round(snapped[int_idx])
             incumbent_x, incumbent_obj = snapped, obj
+            incumbent_source = "search"
             continue
 
         rounded = _try_rounding(x, int_idx, model, node.lbs, node.ubs)
@@ -171,6 +188,7 @@ def solve_branch_and_bound(
             robj = float(c @ arr)
             if robj < incumbent_obj:
                 incumbent_x, incumbent_obj = arr, robj
+                incumbent_source = "rounding"
 
         pivot = x[branch_var]
         down_ub = node.ubs.copy()
@@ -201,4 +219,5 @@ def solve_branch_and_bound(
         solve_seconds=elapsed,
         backend="bb",
         nodes_explored=nodes_explored,
+        incumbent_source=incumbent_source,
     )

@@ -23,12 +23,19 @@ _STATUS_MAP = {
 }
 
 
-def solve_scipy(model: Model, time_limit: float | None = None) -> Solution:
+def solve_scipy(
+    model: Model,
+    time_limit: float | None = None,
+    warm_start: dict | None = None,
+) -> Solution:
     """Solve ``model`` exactly with scipy's HiGHS MILP solver.
 
     Integer variable values in the returned solution are rounded to the
     nearest integer (HiGHS returns them within tolerance of integrality).
+    ``warm_start`` is accepted for backend interchangeability but unused:
+    ``scipy.optimize.milp`` exposes no incumbent-seeding API.
     """
+    del warm_start
     try:
         from scipy.optimize import LinearConstraint, milp
         from scipy.optimize import Bounds

@@ -53,6 +53,7 @@ class RuntimeConfig:
     validate_swap: bool = True        # re-validate + canary before commit
     drift_reconfig: bool = True       # arm the drift trigger at all
     engine: str | None = None         # pipeline engine (None = default)
+    race: bool = False                # race ILP vs greedy in the planner
 
 
 @dataclass
@@ -69,6 +70,9 @@ class ReconfigRecord:
     migration: MigrationReport | None = None
     error: str = ""
     symbol_values: dict[str, int] = field(default_factory=dict)
+    #: solver/cache observability from the planner (nodes explored,
+    #: incumbent source, cache hit/miss counters)
+    solver_stats: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -146,6 +150,7 @@ class RunReport:
                     "baseline_rate": r.baseline_rate,
                     "error": r.error,
                     "symbol_values": r.symbol_values,
+                    "solver_stats": r.solver_stats,
                     "migration": (r.migration.to_dict()
                                   if r.migration is not None else None),
                 }
@@ -177,7 +182,7 @@ class ElasticRuntime:
             utility=utility, with_routing=False
         )
         self.planner = planner if planner is not None else ReconfigPlanner(
-            options=options, telemetry=self.telemetry
+            options=options, telemetry=self.telemetry, race=self.config.race
         )
         self.monitor = TrafficMonitor(
             baseline_windows=self.config.baseline_windows,
@@ -269,6 +274,7 @@ class ElasticRuntime:
         record.backend = plan.backend
         record.fallback = plan.fallback
         record.symbol_values = dict(plan.compiled.symbol_values)
+        record.solver_stats = dict(plan.solver_stats)
         new_app = self._build_app(plan.compiled)
 
         if self.config.migrate_state:
@@ -321,6 +327,7 @@ class ElasticRuntime:
             ilp_build_seconds=stats.ilp_build_seconds,
             ilp_solve_seconds=stats.ilp_solve_seconds,
             codegen_seconds=stats.codegen_seconds,
+            solver_stats=dict(plan.solver_stats),
             symbols=dict(plan.compiled.symbol_values),
             kv_loss=(record.migration.kv_loss_fraction
                      if record.migration is not None else None),

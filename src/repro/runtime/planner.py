@@ -19,11 +19,34 @@ compile driver:
 A timeout *with* an incumbent is accepted as-is when
 ``accept_incumbent`` (the default): the solver proved feasibility, just
 not optimality. Every attempt is emitted on the telemetry bus.
+
+Recompilation speed (this is the control path of an *elastic* system,
+so it is on the reconfiguration critical path):
+
+* The planner owns a :class:`~repro.core.cache.CompileCache` shared by
+  every compile it issues: front-end artifacts (parse/AST, IR) are
+  reused across recompiles of the same source, and a byte-identical
+  (source, target, options) recompile returns the previous artifact
+  outright. Cache counters are exported on the telemetry bus after each
+  cycle as a ``compile_cache`` event.
+* The previous cycle's layout is threaded into the next compile as a
+  **warm start**: the branch-and-bound backend re-validates it against
+  the new target (greedy layout as fallback seed) and uses it as the
+  initial incumbent, pruning instead of rediscovering.
+* With ``race=True`` the ILP and greedy candidates run **concurrently**
+  on a two-worker pool. With a time limit set, the ILP result is
+  preferred (it self-terminates at its limit) and a timeout adopts the
+  already-finished greedy layout instantly — replacing the sequential
+  retry → backoff → fallback ladder, so ``max_retries`` is ignored.
+  Without a time limit the first usable result wins, which in practice
+  is greedy (the quality-insensitive "give me anything now" mode).
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 
 from ..core import (
@@ -34,6 +57,7 @@ from ..core import (
     compile_source,
     compile_source_greedy,
 )
+from ..core.cache import CompileCache
 from ..core.errors import CompileError
 from ..ilp import SolveStatus
 from ..pisa.resources import TargetSpec
@@ -58,6 +82,10 @@ class PlanResult:
     fallback: bool                # True when the greedy path was used
     attempts: list[dict] = field(default_factory=list)
     plan_seconds: float = 0.0
+    #: Solver/cache observability for this cycle: ``nodes_explored``,
+    #: ``incumbent_source``, per-tier cache hit/miss counters, and
+    #: whether any compile phase was served from cache.
+    solver_stats: dict = field(default_factory=dict)
 
     @property
     def symbol_values(self) -> dict[str, int]:
@@ -74,6 +102,9 @@ class ReconfigPlanner:
         max_retries: int = 1,
         backoff: float = 4.0,
         accept_incumbent: bool = True,
+        cache: CompileCache | None = None,
+        race: bool = False,
+        warm_start: bool = True,
     ):
         self.options = options or CompileOptions()
         # Explicit None-check: an empty TelemetryBus is falsy (len 0).
@@ -81,21 +112,39 @@ class ReconfigPlanner:
         self.max_retries = max_retries
         self.backoff = backoff
         self.accept_incumbent = accept_incumbent
+        #: Shared across every compile this planner issues. Pass
+        #: ``CompileCache(max_layouts=0)`` to keep front-end reuse but
+        #: force every layout to be re-solved.
+        self.cache = cache if cache is not None else CompileCache()
+        self.race = race
+        self.warm_start = warm_start
+        self._last_solution = None    # LayoutSolution of the last plan
 
-    def _options_with(self, time_limit: float | None) -> CompileOptions:
-        base = self.options
-        return CompileOptions(
-            entry=base.entry,
-            backend=base.backend,
+    def _options_with(self, time_limit: float | None,
+                      **overrides) -> CompileOptions:
+        updates = dict(
             time_limit=time_limit,
-            layout=base.layout,
-            unroll=base.unroll,
-            verify=base.verify,
+            cache=self.cache,
+            warm_start=self._last_solution if self.warm_start else None,
         )
+        updates.update(overrides)
+        return self.options.replace(**updates)
 
     def _usable(self, compiled: CompiledProgram) -> bool:
         """An incumbent that placed nothing is no better than a timeout."""
         return bool(compiled.units)
+
+    def _solver_stats(self, compiled: CompiledProgram) -> dict:
+        sol = compiled.solution
+        stats = {
+            "nodes_explored": sol.nodes_explored,
+            "incumbent_source": sol.incumbent_source,
+            "frontend_cached": compiled.stats.frontend_cached,
+            "bounds_cached": compiled.stats.bounds_cached,
+            "layout_cached": compiled.stats.layout_cached,
+        }
+        stats.update(self.cache.snapshot())
+        return stats
 
     def plan(self, source: str, target: TargetSpec,
              cause: str = "unspecified") -> PlanResult:
@@ -103,6 +152,18 @@ class ReconfigPlanner:
         for the retry/fallback policy. Raises :class:`PlanError` when
         even the greedy path cannot produce a layout."""
         started = time.perf_counter()
+        if self.race and self.options.backend != "greedy":
+            result = self._plan_race(source, target, cause, started)
+        else:
+            result = self._plan_sequential(source, target, cause, started)
+        self._last_solution = result.compiled.solution
+        result.solver_stats = self._solver_stats(result.compiled)
+        self.cache.emit(self.telemetry, cause=cause)
+        return result
+
+    # ---------------------------------------------------------------- sequential --
+    def _plan_sequential(self, source: str, target: TargetSpec,
+                         cause: str, started: float) -> PlanResult:
         attempts: list[dict] = []
         time_limit = self.options.time_limit
         want_ilp = self.options.backend != "greedy"
@@ -155,7 +216,10 @@ class ReconfigPlanner:
 
                 record.update(outcome="ok", seconds=time.perf_counter() - t0,
                               status=status.value,
-                              symbols=dict(compiled.symbol_values))
+                              symbols=dict(compiled.symbol_values),
+                              nodes_explored=compiled.solution.nodes_explored,
+                              incumbent_source=compiled.solution.incumbent_source,
+                              layout_cached=compiled.stats.layout_cached)
                 attempts.append(record)
                 self.telemetry.emit("compile_attempt", cause=cause, **record)
                 return PlanResult(
@@ -194,6 +258,128 @@ class ReconfigPlanner:
             compiled=compiled,
             backend="greedy",
             fallback=want_ilp,
+            attempts=attempts,
+            plan_seconds=time.perf_counter() - started,
+        )
+
+    # --------------------------------------------------------------------- race --
+    def _plan_race(self, source: str, target: TargetSpec,
+                   cause: str, started: float) -> PlanResult:
+        """Run ILP and greedy candidates concurrently; see module docs.
+
+        Both compiles share the planner's cache (it is thread-safe), so
+        whichever thread gets to the front end first populates it for
+        the other. The losing future is cancelled best-effort — a
+        compile already executing runs to completion in the background,
+        but nobody waits on it."""
+        attempts: list[dict] = []
+        time_limit = self.options.time_limit
+        pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="plan-race")
+        t0 = time.perf_counter()
+        ilp_future = pool.submit(
+            compile_source, source, target,
+            self._options_with(time_limit), "runtime",
+        )
+        greedy_future = pool.submit(
+            compile_source_greedy, source, target,
+            self._options_with(None, backend="greedy", warm_start=None),
+            "runtime",
+        )
+        backend_of = {ilp_future: self.options.backend,
+                      greedy_future: "greedy"}
+
+        def record_for(future, outcome, **extra) -> dict:
+            rec = {
+                "backend": backend_of[future],
+                "time_limit": time_limit if future is ilp_future else None,
+                "attempt": len(attempts),
+                "race": True,
+                "outcome": outcome,
+                "seconds": time.perf_counter() - t0,
+            }
+            rec.update(extra)
+            attempts.append(rec)
+            self.telemetry.emit("compile_attempt", cause=cause, **rec)
+            return rec
+
+        def harvest(future) -> CompiledProgram | None:
+            """Resolve one candidate; None when unusable."""
+            try:
+                compiled = future.result()
+            except LayoutTimeoutError as exc:
+                record_for(future, "timeout", backend_used=exc.backend)
+                return None
+            except LayoutInfeasibleError as exc:
+                record_for(future, "infeasible")
+                raise PlanError(
+                    f"program does not fit target {target.name!r}: {exc}"
+                ) from exc
+            except CompileError as exc:
+                record_for(future, "error", error=str(exc))
+                return None
+            status = compiled.solution.status
+            if not self._usable(compiled) or (
+                status is SolveStatus.TIMEOUT and not self.accept_incumbent
+            ):
+                record_for(future, "degenerate-incumbent"
+                           if not compiled.units else "timeout-incumbent")
+                return None
+            record_for(future, "ok", status=status.value,
+                       symbols=dict(compiled.symbol_values),
+                       nodes_explored=compiled.solution.nodes_explored,
+                       incumbent_source=compiled.solution.incumbent_source,
+                       layout_cached=compiled.stats.layout_cached)
+            return compiled
+
+        winner: CompiledProgram | None = None
+        winner_future = None
+        try:
+            if time_limit is not None:
+                # The ILP self-terminates at its limit; prefer its quality.
+                # On timeout the greedy candidate has been solving in
+                # parallel the whole time — adopt it with no extra wait.
+                winner = harvest(ilp_future)
+                winner_future = ilp_future
+                if winner is None:
+                    winner = harvest(greedy_future)
+                    winner_future = greedy_future
+            else:
+                # No limit: latency wins. First usable result is taken
+                # (greedy in practice; the ILP would run unbounded).
+                pending = {ilp_future, greedy_future}
+                while pending and winner is None:
+                    done, pending_set = futures_wait(
+                        pending, return_when=FIRST_COMPLETED
+                    )
+                    pending = set(pending_set)
+                    for future in done:
+                        winner = harvest(future)
+                        winner_future = future
+                        if winner is not None:
+                            break
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        if winner is None:
+            raise PlanError(
+                f"no candidate produced a usable layout for {target.name!r}"
+            )
+        won_ilp = winner_future is ilp_future
+        if not won_ilp:
+            self.telemetry.emit(
+                "ilp_fallback", cause=cause,
+                attempts=len(attempts), final_time_limit=time_limit,
+                race=True,
+            )
+        self.telemetry.emit(
+            "race_result", cause=cause,
+            winner="ilp" if won_ilp else "greedy",
+            seconds=time.perf_counter() - started,
+        )
+        return PlanResult(
+            compiled=winner,
+            backend="ilp" if won_ilp else "greedy",
+            fallback=not won_ilp,
             attempts=attempts,
             plan_seconds=time.perf_counter() - started,
         )

@@ -74,3 +74,55 @@ class TestLpFormat:
         text = model_to_lp(builder.layout.model)
         assert text.count("\n") > 50
         assert "mem_0" in text
+
+
+class TestDeterminism:
+    """The LP text doubles as a model fingerprint: two builds of the
+    same layout model must serialize byte-identically, regardless of
+    construction order or the process hash seed."""
+
+    @staticmethod
+    def _layout_lp_text() -> str:
+        from repro.core.layout import LayoutBuilder
+        from repro.lang import check_program, parse_program
+        from repro.analysis import build_ir, compute_upper_bounds
+        from repro.pisa import small_target
+        from repro.structures import CMS_SOURCE
+
+        target = small_target(stages=8, memory_kb=64)
+        info = check_program(parse_program(CMS_SOURCE, "cms"))
+        ir = build_ir(info, "Ingress")
+        bounds = compute_upper_bounds(ir, target)
+        builder = LayoutBuilder(ir, bounds, target)
+        builder.build()
+        return model_to_lp(builder.layout.model)
+
+    def test_two_builds_byte_identical(self):
+        assert self._layout_lp_text() == self._layout_lp_text()
+
+    def test_stable_across_hash_seeds(self, tmp_path):
+        # Set-iteration order (frozensets of size symbolics, dict views)
+        # varies with PYTHONHASHSEED; the serialized model must not.
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from tests.ilp.test_lpwriter import TestDeterminism\n"
+            "import sys\n"
+            "sys.stdout.write(TestDeterminism._layout_lp_text())\n"
+        )
+        texts = []
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                p for p in ("src", env.get("PYTHONPATH", "")) if p
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True, text=True, check=True,
+                cwd=os.getcwd(), env=env,
+            )
+            texts.append(out.stdout)
+        assert texts[0] == texts[1]
+        assert texts[0] == self._layout_lp_text()

@@ -86,3 +86,81 @@ class TestInfeasible:
             planner.plan(RUNTIME_SOURCE, small_target(stages=6, memory_kb=64))
         attempts = bus.events_of("compile_attempt")
         assert attempts[-1].data["outcome"] == "infeasible"
+
+
+class TestCacheAndWarmStart:
+    def test_second_plan_reuses_frontend(self, mini64, mini32):
+        """The memory-cut recompile skips parse/IR via the planner's
+        shared cache; its solver stats record the reuse."""
+        planner = ReconfigPlanner()
+        planner.plan(RUNTIME_SOURCE, mini64, cause="initial")
+        result = planner.plan(RUNTIME_SOURCE, mini32, cause="target-change")
+        assert result.compiled.stats.frontend_cached
+        assert not result.compiled.stats.layout_cached  # new target
+        assert result.solver_stats["frontend_hits"] >= 1
+
+    def test_identical_replan_hits_layout_cache(self, mini64):
+        planner = ReconfigPlanner()
+        first = planner.plan(RUNTIME_SOURCE, mini64)
+        again = planner.plan(RUNTIME_SOURCE, mini64)
+        assert again.compiled.stats.layout_cached
+        assert again.symbol_values == first.symbol_values
+        assert again.solver_stats["layout_hits"] >= 1
+
+    def test_cache_telemetry_emitted_per_cycle(self, mini64):
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(telemetry=bus)
+        planner.plan(RUNTIME_SOURCE, mini64, cause="initial")
+        events = bus.events_of("compile_cache")
+        assert len(events) == 1
+        assert events[0].data["cause"] == "initial"
+
+
+class TestRace:
+    def test_generous_limit_prefers_ilp(self, mini64):
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(
+            options=CompileOptions(time_limit=120.0),
+            telemetry=bus, race=True,
+        )
+        result = planner.plan(RUNTIME_SOURCE, mini64, cause="initial")
+        assert result.backend == "ilp"
+        assert not result.fallback
+        assert result.compiled.units
+        races = bus.events_of("race_result")
+        assert len(races) == 1 and races[0].data["winner"] == "ilp"
+        assert not bus.events_of("ilp_fallback")
+
+    def test_tiny_limit_adopts_concurrent_greedy(self, mini64):
+        """The race replaces the retry ladder: on ILP timeout the
+        already-running greedy candidate is adopted with no backoff."""
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(
+            options=CompileOptions(time_limit=1e-4),
+            telemetry=bus, race=True,
+        )
+        result = planner.plan(RUNTIME_SOURCE, mini64, cause="target-change")
+        assert result.backend == "greedy"
+        assert result.fallback
+        assert result.compiled.units
+        # Exactly one ILP attempt (no retries in race mode) + greedy.
+        ilp_attempts = [a for a in result.attempts if a["backend"] != "greedy"]
+        assert len(ilp_attempts) == 1
+        assert all(a.get("race") for a in result.attempts)
+        races = bus.events_of("race_result")
+        assert races[0].data["winner"] == "greedy"
+        fallbacks = bus.events_of("ilp_fallback")
+        assert len(fallbacks) == 1 and fallbacks[0].data["race"] is True
+
+    def test_no_limit_takes_first_usable(self, mini64):
+        planner = ReconfigPlanner(race=True)
+        result = planner.plan(RUNTIME_SOURCE, mini64)
+        assert result.compiled.units          # some usable layout, fast
+        assert result.backend in ("ilp", "greedy")
+
+    def test_race_infeasible_still_raises(self):
+        planner = ReconfigPlanner(
+            options=CompileOptions(time_limit=60.0), race=True
+        )
+        with pytest.raises(PlanError):
+            planner.plan(RUNTIME_SOURCE, small_target(stages=6, memory_kb=64))
