@@ -12,7 +12,11 @@ the headline numbers:
   baseline, for the migrated and the cold swap;
 * ``solver_stats`` — the planner's solver statistics for the committed
   reconfiguration (branch-and-bound nodes explored, where the incumbent
-  came from, and compile-cache hit counters).
+  came from, and compile-cache hit counters);
+* ``module_attribution`` — per-module stage/memory/ALU and utility
+  share for the committed layout (the runtime composes NetCache through
+  the module linker, so every reconfig attributes resources per tenant
+  module).
 """
 
 import json
@@ -60,6 +64,15 @@ def test_runtime_reconfig(benchmark):
     # swap's first window is visibly worse.
     assert migrated.post_swap_first_window > cold.post_swap_first_window
 
+    # The runtime links the kv and cms modules, so the committed plan
+    # attributes resources per module and the utility shares partition
+    # the objective.
+    assert {"kv", "cms"} <= set(migrated.module_attribution)
+    shares = [a["utility_share"]
+              for a in migrated.module_attribution.values()
+              if a.get("utility_share") is not None]
+    assert shares and abs(sum(shares) - 1.0) < 1e-6
+
     payload = {
         "scenario": {
             "stages": comparison.scenario.stages,
@@ -71,6 +84,7 @@ def test_runtime_reconfig(benchmark):
         "reconfig_seconds": migrated.reconfig_seconds,
         "backend": migrated.backend,
         "solver_stats": migrated.solver_stats,
+        "module_attribution": migrated.module_attribution,
         "kv_entries_old": migrated.kv_entries_old,
         "kv_migrated": migrated.kv_migrated,
         "kv_loss_fraction": migrated.kv_loss,

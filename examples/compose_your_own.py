@@ -3,51 +3,71 @@
 
 The paper's §3.2 methodology in four steps, done live: take a Bloom
 filter (has this flow been seen?), a hash-based byte matrix (how much
-traffic per flow?), and a count-min sketch (how many packets?), splice
-them with ``compose()``, pick a utility that weighs them, and let the
+traffic per flow?), and a count-min sketch (how many packets?), link
+them into one program, pick a utility that weighs them, and let the
 compiler stretch all three into one pipeline. The modules were written
 once, in the library — composing them here required zero changes.
+
+The composition goes through the module linker
+(:func:`repro.link.link_p4all_modules`), which keeps each module a
+first-class unit: the layout report below is followed by a per-module
+breakdown of stages, memory, ALUs, and utility share. The legacy
+``compose()`` string splice produces the identical program — the
+differential test in ``tests/link`` holds the two bit-for-bit equal.
 
 Run:  python examples/compose_your_own.py
 """
 
 import dataclasses
 
-from repro import Packet, Pipeline, compile_source, layout_report
+from repro import Packet, Pipeline, layout_report
+from repro.core import compile_linked, module_report
+from repro.link import link_p4all_modules
 from repro.pisa import tofino
-from repro.structures import bloom_module, cms_module, compose, matrix_module
+from repro.structures import bloom_module, cms_module, matrix_module
 
 
-def main() -> None:
+def build_modules():
+    """The three library modules, configured for this composite."""
     # Step 1-3: the library modules already declare their symbolics,
     # elastic structures, and operations; we only choose key fields.
-    modules = [
+    return [
         bloom_module(prefix="seen", key_field="meta.flow_id", max_bits=65536),
         matrix_module(prefix="vol", key_field="meta.flow_id",
                       amount_field="meta.pkt_bytes", max_cols=8192),
         cms_module(prefix="cnt", key_field="meta.flow_id", max_cols=8192,
                    seed_offset=40),
     ]
-    # Step 4: manage competing resource needs with one utility function,
-    # plus floors so no structure is squeezed below usefulness (§3.2.1's
-    # "assume" methodology).
-    source = compose(
-        modules=modules,
-        extra_metadata=["bit<32> flow_id;", "bit<32> pkt_bytes;"],
-        extra_assumes=["cnt_cols >= 256", "seen_bits >= 1024"],
-        utility=(
-            "0.2 * (seen_hashes * seen_bits) + "
-            "0.5 * (vol_rows * vol_cols) + "
-            "0.3 * (cnt_rows * cnt_cols)"
-        ),
+
+
+#: Glue shared by the linker path here and the ``compose()`` path in the
+#: differential test: the joint metadata, the usefulness floors, and the
+#: utility that weighs the three structures (§3.2.1's methodology).
+COMPOSE_KWARGS = dict(
+    extra_metadata=["bit<32> flow_id;", "bit<32> pkt_bytes;"],
+    extra_assumes=["cnt_cols >= 256", "seen_bits >= 1024"],
+    utility=(
+        "0.2 * (seen_hashes * seen_bits) + "
+        "0.5 * (vol_rows * vol_cols) + "
+        "0.3 * (cnt_rows * cnt_cols)"
+    ),
+)
+
+
+def main() -> None:
+    # Step 4: link the modules into one program under the joint utility.
+    linked = link_p4all_modules(
+        build_modules(), name="composite", **COMPOSE_KWARGS
     )
 
     target = dataclasses.replace(
         tofino(), stages=8, memory_bits_per_stage=128 * 1024
     )
     print("Compiling a 3-module composite (Bloom + matrix + CMS)...")
-    compiled = compile_source(source, target, source_name="composite")
+    compiled = compile_linked(linked, target)
     print(layout_report(compiled))
+    print()
+    print(module_report(compiled))
 
     pipe = Pipeline(compiled)
     print("\nTraffic: flow 5 sends 3 packets of 500 B, flow 9 sends 1:")

@@ -37,6 +37,7 @@ __all__ = [
     "ProgramIR",
     "build_ir",
     "instantiate",
+    "module_of_instance",
     "substitute",
     "field_key",
     "UpdateKind",
@@ -673,3 +674,44 @@ def instantiate(ir: ProgramIR, counts: dict[str, int]) -> list[ActionInstance]:
                 uid += 1
                 order += 1
     return out
+
+
+def module_of_instance(inst: ActionInstance, namespace) -> "str | None":
+    """Attribute one placement unit to the linked module that owns it.
+
+    Resolution order: the owning table, the action name (exact, then
+    with a static-unroll ``_<i>`` specialization suffix stripped), the
+    accessed register families, and finally the metadata fields it
+    touches — taking an owner only when it is unambiguous. Returns
+    ``None`` for units nothing claims (callers bucket those as app
+    glue).
+    """
+    if namespace is None:
+        return None
+    if inst.table is not None and inst.table in namespace.tables:
+        return namespace.tables[inst.table]
+    owner = namespace.actions.get(inst.name)
+    if owner is not None:
+        return owner
+    base, _, suffix = inst.name.rpartition("_")
+    if base and suffix.isdigit():
+        owner = namespace.actions.get(base)
+        if owner is not None:
+            return owner
+    reg_owners = {
+        namespace.registers[family]
+        for family, _index in inst.registers
+        if family in namespace.registers
+    }
+    if len(reg_owners) == 1:
+        return reg_owners.pop()
+    field_owners = set()
+    for key in set(inst.reads) | set(inst.writes):
+        name = key.split(".", 1)[1] if key.startswith("meta.") else key
+        name = name.split("[", 1)[0]
+        owner = namespace.fields.get(name)
+        if owner is not None:
+            field_owners.add(owner)
+    if len(field_owners) == 1:
+        return field_owners.pop()
+    return None

@@ -23,6 +23,7 @@ from .netcache import (
     NETCACHE_UTILITY_FLIPPED,
     NetCacheApp,
     NetCacheStats,
+    netcache_linked,
     netcache_source,
     simulate_netcache,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "NETCACHE_UTILITY_FLIPPED",
     "NetCacheApp",
     "NetCacheStats",
+    "netcache_linked",
     "netcache_source",
     "simulate_netcache",
     "PrecisionApp",

@@ -32,6 +32,7 @@ from ..structures import (
 
 __all__ = [
     "netcache_source",
+    "netcache_linked",
     "NetCacheApp",
     "NetCacheStats",
     "simulate_netcache",
@@ -92,6 +93,65 @@ def netcache_source(
         extra_declarations=extra_decls,
         post_apply=post_apply,
         utility=utility,
+    )
+
+
+def netcache_linked(
+    utility: str = NETCACHE_UTILITY,
+    max_cms_rows: int = 4,
+    max_cols: int = 65536,
+    value_slices: int = 2,
+    kv_min_total_bits: int | None = None,
+    with_routing: bool = True,
+    cache=None,
+):
+    """:func:`netcache_source` as a linked program, module identity kept.
+
+    Same modules, glue, and utility — the rendered source (and therefore
+    the compiled layout) is identical — but the result is a
+    :class:`~repro.link.LinkedProgram`: per-module utility terms for the
+    ILP objective, a namespace for per-module attribution, and
+    ``reweight()`` for one-tenant objective changes. Pass a
+    :class:`~repro.core.CompileCache` to share module frontends across
+    re-links.
+    """
+    from ..link import link_p4all_modules
+
+    cms = cms_module(
+        prefix="cms", key_field="meta.req_key", max_rows=max_cms_rows,
+        max_cols=max_cols, seed_offset=0,
+    )
+    kv = kv_module(
+        prefix="kv", key_field="meta.req_key", value_slices=value_slices,
+        max_cols=max_cols, min_total_bits=kv_min_total_bits, seed_offset=100,
+    )
+    extra_decls: list[str] = []
+    post_apply: list[str] = []
+    if with_routing:
+        extra_decls = [
+            "action set_port(bit<9> port) {\n    meta.egress = port;\n}",
+            (
+                "table route {\n"
+                "    key = {\n        meta.dst : exact;\n    }\n"
+                "    actions = {\n        set_port;\n        NoAction;\n    }\n"
+                "    size = 1024;\n"
+                "    default_action = NoAction;\n"
+                "}"
+            ),
+        ]
+        post_apply = ["route.apply();"]
+    return link_p4all_modules(
+        [kv, cms],
+        extra_metadata=[
+            "bit<32> req_key;",
+            "bit<32> dst;",
+            "bit<9> egress;",
+        ],
+        extra_declarations=extra_decls,
+        post_apply=post_apply,
+        utility=utility,
+        cache=cache,
+        name="netcache",
     )
 
 

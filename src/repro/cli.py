@@ -3,6 +3,8 @@
 Subcommands::
 
     p4all compile prog.p4all --target tofino [-o out.p4] [--report]
+    p4all compile a.p4all b.p4all --weights a=2,b=1   # link modules
+                                                      # into one layout
     p4all bounds  prog.p4all --target tofino     # unroll bounds only
     p4all graph   prog.p4all                     # dependency graph (DOT)
     p4all run     [--packets N] [--cut-at N] [--engine E] [--profile]
@@ -91,14 +93,51 @@ def _resolve_target(args):
     return target
 
 
+def _parse_name_values(spec: str, flag: str) -> dict[str, float]:
+    """Parse a ``name=value,name=value`` flag into a dict."""
+    from .link import LinkError
+
+    values: dict[str, float] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, sep, raw = item.partition("=")
+        name = name.strip()
+        try:
+            if not sep or not name:
+                raise ValueError
+            values[name] = float(raw.strip())
+        except ValueError:
+            raise LinkError(
+                f"malformed {flag} entry {item!r}: expected name=value"
+            ) from None
+    return values
+
+
 def _cmd_compile(args) -> int:
     from .profiling import profiled
 
     target = _resolve_target(args)
+    weights = _parse_name_values(args.weights, "--weights") if args.weights else None
+    floors = _parse_name_values(args.floors, "--floors") if args.floors else None
+    multi = len(args.programs) > 1 or weights is not None or floors is not None
     with profiled(args.profile):
-        compiled = compile_file(
-            args.program, target, options=_compile_options(args)
-        )
+        if multi:
+            from .core import compile_linked
+            from .link import link_files
+
+            linked = link_files(
+                args.programs, weights=weights, floors=floors,
+                entry=args.entry,
+            )
+            compiled = compile_linked(
+                linked, target, options=_compile_options(args)
+            )
+        else:
+            compiled = compile_file(
+                args.programs[0], target, options=_compile_options(args)
+            )
     if args.profile:
         print(f"wrote profile to {args.profile}", file=sys.stderr)
     if args.output:
@@ -107,6 +146,10 @@ def _cmd_compile(args) -> int:
     else:
         print(compiled.p4_source)
     print(summary_line(compiled), file=sys.stderr)
+    if compiled.namespace is not None:
+        from .core import module_report
+
+        print(module_report(compiled), file=sys.stderr)
     if args.stats:
         print(stats_report(compiled), file=sys.stderr)
     if args.report:
@@ -232,8 +275,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_compile = sub.add_parser("compile", help="compile a .p4all program to P4")
-    p_compile.add_argument("program", help="path to the .p4all source")
+    p_compile = sub.add_parser(
+        "compile",
+        help="compile one .p4all program — or link several into a joint "
+             "layout — and emit P4",
+    )
+    p_compile.add_argument(
+        "programs", nargs="+", metavar="program",
+        help="path(s) to .p4all sources; two or more are linked into one "
+             "program with per-module utility weighting and attribution",
+    )
+    p_compile.add_argument(
+        "--weights", default=None, metavar="NAME=W,...",
+        help="per-module utility weights for linked compiles, e.g. "
+             "cms=2,kv=1 (module names are the file stems)",
+    )
+    p_compile.add_argument(
+        "--floors", default=None, metavar="NAME=F,...",
+        help="per-module minimum weighted utility for linked compiles "
+             "(added as ILP constraints)",
+    )
     p_compile.add_argument("-o", "--output", help="output .p4 path (default: stdout)")
     p_compile.add_argument("--entry", default="Ingress", help="ingress control name")
     p_compile.add_argument("--report", action="store_true",

@@ -18,6 +18,8 @@ from .codegen import generate_p4
 from .driver import (
     CompileOptions,
     compile_file,
+    compile_linked,
+    compile_linked_greedy,
     compile_source,
     compile_source_greedy,
 )
@@ -30,7 +32,14 @@ from .errors import (
 from .greedy import GreedyResult, greedy_layout
 from .layout import LayoutBuilder, LayoutModel, LayoutOptions, LayoutSolution
 from .program import CompiledProgram, CompileStats, PlacedUnit, RegisterAlloc
-from .report import layout_report, stats_report, summary_line
+from .report import (
+    ModuleAttribution,
+    layout_report,
+    module_attribution,
+    module_report,
+    stats_report,
+    summary_line,
+)
 from .tablemem import table_memory_bits
 from .validate import LayoutValidationError, validate_layout
 
@@ -41,6 +50,8 @@ __all__ = [
     "generate_p4",
     "CompileOptions",
     "compile_file",
+    "compile_linked",
+    "compile_linked_greedy",
     "compile_source",
     "compile_source_greedy",
     "CompileError",
@@ -57,7 +68,10 @@ __all__ = [
     "CompileStats",
     "PlacedUnit",
     "RegisterAlloc",
+    "ModuleAttribution",
     "layout_report",
+    "module_attribution",
+    "module_report",
     "stats_report",
     "summary_line",
     "table_memory_bits",

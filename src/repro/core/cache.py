@@ -62,6 +62,8 @@ class CacheStats:
 
     frontend_hits: int = 0
     frontend_misses: int = 0
+    module_hits: int = 0
+    module_misses: int = 0
     bounds_hits: int = 0
     bounds_misses: int = 0
     layout_hits: int = 0
@@ -73,6 +75,8 @@ class CacheStats:
         return {
             "frontend_hits": self.frontend_hits,
             "frontend_misses": self.frontend_misses,
+            "module_hits": self.module_hits,
+            "module_misses": self.module_misses,
             "bounds_hits": self.bounds_hits,
             "bounds_misses": self.bounds_misses,
             "layout_hits": self.layout_hits,
@@ -120,6 +124,7 @@ class CompileCache:
         self.stats = CacheStats()
         self._lock = threading.Lock()
         self._frontend: dict[tuple, _FrontendEntry] = {}
+        self._modules: dict[str, Any] = {}
         self._bounds: dict[tuple, UnrollBounds] = {}
         self._layouts: OrderedDict[tuple, "CompiledProgram"] = OrderedDict()
 
@@ -139,6 +144,49 @@ class CompileCache:
         self.stats.frontend_misses += 1
         program = parse_program(source, source_name)
         info = check_program(program)
+        ir = build_ir(info, entry)
+        with self._lock:
+            self._frontend[key] = _FrontendEntry(program, info, ir)
+        return program, info, ir, False
+
+    # -- per-module frontend tier -------------------------------------------------
+    def module(self, key_text: str, build):
+        """Return ``(value, hit)`` for one module's frontend artifact.
+
+        The linker keys each module by its fragment text, so editing one
+        tenant's module only re-runs ``build`` (parse + extract) for that
+        module; every other module of the linked program is a hit.
+        """
+        key = source_fingerprint(key_text)
+        with self._lock:
+            cached = self._modules.get(key)
+        if cached is not None:
+            self.stats.module_hits += 1
+            return cached, True
+        self.stats.module_misses += 1
+        value = build()
+        with self._lock:
+            self._modules[key] = value
+        return value, False
+
+    def linked_frontend(self, linked, entry: str):
+        """Frontend a :class:`~repro.link.LinkedProgram`, memoized.
+
+        The linker already parsed each module; what remains is semantic
+        checking and IR construction over the merged AST. Keyed by the
+        linked program's fingerprint through a pseudo-source string so
+        the bounds/layout tiers (and ``invalidate``) compose unchanged.
+        """
+        key = ("linked:" + linked.fingerprint, entry)
+        with self._lock:
+            cached = self._frontend.get(key)
+        if cached is not None:
+            self.stats.frontend_hits += 1
+            return cached.program, cached.info, cached.ir, True
+        self.stats.frontend_misses += 1
+        program = linked.program
+        info = check_program(program)
+        info.namespace = linked.namespace
         ir = build_ir(info, entry)
         with self._lock:
             self._frontend[key] = _FrontendEntry(program, info, ir)
@@ -216,9 +264,10 @@ class CompileCache:
         """
         with self._lock:
             if source is None:
-                removed = (len(self._frontend) + len(self._bounds)
-                           + len(self._layouts))
+                removed = (len(self._frontend) + len(self._modules)
+                           + len(self._bounds) + len(self._layouts))
                 self._frontend.clear()
+                self._modules.clear()
                 self._bounds.clear()
                 self._layouts.clear()
             else:
@@ -243,6 +292,7 @@ class CompileCache:
         out = self.stats.to_dict()
         with self._lock:
             out["frontend_entries"] = len(self._frontend)
+            out["module_entries"] = len(self._modules)
             out["bounds_entries"] = len(self._bounds)
             out["layout_entries"] = len(self._layouts)
         return out
@@ -255,6 +305,7 @@ class CompileCache:
         s = self.stats
         return (
             f"CompileCache(frontend {s.frontend_hits}h/{s.frontend_misses}m, "
+            f"module {s.module_hits}h/{s.module_misses}m, "
             f"bounds {s.bounds_hits}h/{s.bounds_misses}m, "
             f"layout {s.layout_hits}h/{s.layout_misses}m)"
         )

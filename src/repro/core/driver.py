@@ -43,6 +43,8 @@ __all__ = [
     "compile_source",
     "compile_file",
     "compile_source_greedy",
+    "compile_linked",
+    "compile_linked_greedy",
     "CompileOptions",
 ]
 
@@ -68,7 +70,7 @@ class CompileOptions:
         self.time_limit = time_limit
         self.layout = layout or LayoutOptions()
         self.unroll = unroll or UnrollOptions(
-            exclusion_as_precedence=(layout or LayoutOptions()).exclusion_as_precedence
+            exclusion_as_precedence=self.layout.exclusion_as_precedence
         )
         #: re-check the produced layout against every resource/dependency
         #: rule (cheap; catches formulation bugs at the source).
@@ -320,3 +322,180 @@ def compile_file(
     return compile_source(
         path.read_text(), target, options=options, source_name=str(path)
     )
+
+
+# ---------------------------------------------------------------------------
+# Linked-program compilation. ``linked`` is duck-typed on the
+# LinkedProgram surface (program/namespace/fingerprint/utility/
+# utility_terms/floors/name) so this module never imports repro.link.
+
+def _linked_pseudo_source(linked) -> str:
+    """Key the bounds/layout cache tiers by the linked fingerprint.
+
+    The tiers hash their ``source`` argument, so a stable pseudo-source
+    string lets a linked program share them unchanged with string
+    compiles (including ``invalidate``)."""
+    return "linked:" + linked.fingerprint
+
+
+def _run_frontend_linked(linked, target, options, stats):
+    """Phases 2-3 for an already-parsed linked program."""
+    cache = options.cache
+    if cache is not None:
+        t0 = time.perf_counter()
+        program, info, ir, hit = cache.linked_frontend(linked, options.entry)
+        stats.frontend_cached = hit
+        stats.parse_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        bounds, bhit = cache.bounds(
+            _linked_pseudo_source(linked), options.entry, ir, target,
+            options.unroll,
+        )
+        stats.bounds_cached = bhit
+        stats.bounds_seconds = time.perf_counter() - t0
+        stats.analysis_seconds = stats.bounds_seconds
+        return program, info, ir, bounds
+
+    t0 = time.perf_counter()
+    program = linked.program
+    info = check_program(program)
+    info.namespace = linked.namespace
+    stats.parse_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    ir = build_ir(info, options.entry)
+    stats.ir_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    bounds = compute_upper_bounds(ir, target, options.unroll)
+    stats.bounds_seconds = time.perf_counter() - t0
+    stats.analysis_seconds = stats.ir_seconds + stats.bounds_seconds
+    return program, info, ir, bounds
+
+
+def compile_linked(
+    linked,
+    target: TargetSpec,
+    options: CompileOptions | None = None,
+) -> CompiledProgram:
+    """Compile a :class:`~repro.link.LinkedProgram` for ``target``.
+
+    Same pipeline as :func:`compile_source` from semantic checking
+    onward — the linker already ran the per-module front end — with the
+    objective built as the explicit weighted sum of per-module utility
+    terms (per-module floors become constraints) and the solution
+    carrying a per-module utility breakdown.
+    """
+    options = options or CompileOptions()
+    if options.backend == "greedy":
+        return compile_linked_greedy(linked, target, options)
+    cache = options.cache
+    pseudo = _linked_pseudo_source(linked)
+    if cache is not None:
+        cached = cache.get_layout(pseudo, target, options)
+        if cached is not None:
+            return dataclasses.replace(
+                cached,
+                stats=dataclasses.replace(cached.stats, layout_cached=True),
+            )
+    stats = CompileStats()
+    program, info, ir, bounds = _run_frontend_linked(
+        linked, target, options, stats
+    )
+
+    t0 = time.perf_counter()
+    builder = LayoutBuilder(ir, bounds, target, options.layout)
+    lm = builder.build()
+    stats.ilp_build_seconds = time.perf_counter() - t0
+    stats.ilp_variables = lm.model.num_variables
+    stats.ilp_constraints = lm.model.num_constraints
+
+    solution = builder.solve(
+        utility=linked.utility,
+        backend=options.backend,
+        time_limit=options.time_limit,
+        warm_start=options.warm_start,
+        utility_terms=linked.utility_terms,
+        floors=linked.floors,
+    )
+    stats.ilp_solve_seconds = solution.solve_seconds
+    stats.ilp_variables = lm.model.num_variables
+    stats.ilp_constraints = lm.model.num_constraints
+
+    compiled = CompiledProgram(
+        source_name=linked.name,
+        target=target,
+        info=info,
+        ir=ir,
+        bounds=bounds,
+        solution=solution,
+        stats=stats,
+    )
+    compiled = _assemble(compiled, lm.instances, solution, options)
+    if cache is not None:
+        cache.put_layout(pseudo, target, options, compiled)
+    return compiled
+
+
+def compile_linked_greedy(
+    linked,
+    target: TargetSpec,
+    options: CompileOptions | None = None,
+) -> CompiledProgram:
+    """Greedy-layout counterpart of :func:`compile_linked`."""
+    from .greedy import greedy_layout
+    from .utility import eval_utility_term
+
+    options = options or CompileOptions()
+    stats = CompileStats()
+    program, info, ir, bounds = _run_frontend_linked(
+        linked, target, options, stats
+    )
+
+    t0 = time.perf_counter()
+    result = greedy_layout(ir, bounds, target)
+    stats.ilp_solve_seconds = time.perf_counter() - t0
+
+    iteration_active = {
+        (inst.symbolic, inst.iteration): result.instance_stage[inst.uid] is not None
+        for inst in result.instances
+        if inst.symbolic is not None
+    }
+    env: dict[str, float] = dict(info.consts)
+    env.update(result.symbol_values)
+    breakdown: dict[str, float] = {}
+    for module, weight, term in linked.utility_terms:
+        value = float(weight) * eval_utility_term(term, env)
+        breakdown[module] = breakdown.get(module, 0.0) + value
+    if breakdown:
+        objective = sum(breakdown.values())
+    elif linked.utility is not None:
+        objective = float(eval_utility_term(linked.utility, env))
+    else:
+        objective = 0.0
+    solution = LayoutSolution(
+        status=SolveStatus.FEASIBLE,
+        objective=objective,
+        symbol_values=result.symbol_values,
+        node_stage={},
+        instance_stage=result.instance_stage,
+        register_alloc=result.register_alloc,
+        iteration_active=iteration_active,
+        solve_seconds=stats.ilp_solve_seconds,
+        backend="greedy",
+        num_variables=0,
+        num_constraints=0,
+        utility_breakdown=breakdown,
+    )
+
+    compiled = CompiledProgram(
+        source_name=linked.name,
+        target=target,
+        info=info,
+        ir=ir,
+        bounds=bounds,
+        solution=solution,
+        stats=stats,
+    )
+    return _assemble(compiled, result.instances, solution, options)

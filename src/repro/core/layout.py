@@ -156,6 +156,9 @@ class LayoutSolution:
     num_constraints: int
     nodes_explored: int = 0
     incumbent_source: str = ""
+    #: per-module objective contribution (weighted), when the program
+    #: was linked with per-module utility terms
+    utility_breakdown: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -749,6 +752,8 @@ class LayoutBuilder:
         backend: str = "auto",
         time_limit: float | None = None,
         warm_start: LayoutSolution | None = None,
+        utility_terms=None,
+        floors: dict[str, float] | None = None,
     ) -> LayoutSolution:
         """Build (if needed), attach the objective, solve, and decode.
 
@@ -756,19 +761,45 @@ class LayoutBuilder:
         solver's incumbent: re-encoded and re-validated against *this*
         model, with the greedy layout as fallback seed when the previous
         layout no longer fits the target. Only the branch-and-bound
-        backend can exploit it; others ignore the seed."""
-        from .utility import linearize_utility
+        backend can exploit it; others ignore the seed.
+
+        ``utility_terms`` — (module, weight, term-expr) triples from the
+        linker — make the objective the explicit weighted sum of
+        per-module utilities, decoded into
+        :attr:`LayoutSolution.utility_breakdown`. ``floors`` (module →
+        minimum weighted utility) become hard constraints. When
+        ``utility_terms`` is given it takes precedence over ``utility``
+        (the latter is the same expression unsplit)."""
+        from .utility import linearize_term, linearize_utility
 
         lm = self.layout
         if lm.graph is None:
             self.build()
         objective = LinExpr()
-        if utility is not None:
+        term_exprs: dict[str, LinExpr] = {}
+        if utility_terms:
+            for module, weight, term in utility_terms:
+                lin = linearize_term(term, lm, self.info) * float(weight)
+                if module in term_exprs:
+                    term_exprs[module] = term_exprs[module] + lin
+                else:
+                    term_exprs[module] = lin
+                objective += lin
+        elif utility is not None:
             objective += linearize_utility(utility, lm, self.info)
         if self.options.stage_bias:
             for (node_id, s), var in lm.x.items():
                 objective += (-self.options.stage_bias * s) * LinExpr.from_term(var)
-        lm.model.maximize(objective)
+        lm.model.maximize(objective, terms=term_exprs)
+        for module, floor in sorted((floors or {}).items()):
+            lin = term_exprs.get(module)
+            if lin is None:
+                raise UtilityError(
+                    f"utility floor names module {module!r}, which "
+                    "contributes no utility term"
+                )
+            lm.model.add_constr(lin >= float(floor),
+                                name=f"util_floor[{module}]")
         warm_values = None
         if warm_start is not None:
             warm_values = self.encode_warm_start(warm_start)
@@ -790,9 +821,10 @@ class LayoutBuilder:
                 time_limit=time_limit,
                 backend=solution.backend,
             )
-        return self._decode(solution)
+        return self._decode(solution, term_exprs)
 
-    def _decode(self, solution: Solution) -> LayoutSolution:
+    def _decode(self, solution: Solution,
+                term_exprs: dict[str, LinExpr] | None = None) -> LayoutSolution:
         lm = self.layout
         node_stage: dict[int, int | None] = {}
         for node in lm.graph.nodes:
@@ -840,6 +872,10 @@ class LayoutBuilder:
             num_constraints=lm.model.num_constraints,
             nodes_explored=solution.nodes_explored,
             incumbent_source=solution.incumbent_source,
+            utility_breakdown={
+                module: lin.value(solution.values)
+                for module, lin in (term_exprs or {}).items()
+            },
         )
 
 

@@ -108,6 +108,11 @@ class CompiledProgram:
     def symbol_values(self) -> dict[str, int]:
         return self.solution.symbol_values
 
+    @property
+    def namespace(self):
+        """Module ownership map when built by the linker, else ``None``."""
+        return self.info.namespace
+
     def units_in_stage(self, stage: int) -> list[PlacedUnit]:
         return [u for u in self.units if u.stage == stage]
 

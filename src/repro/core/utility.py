@@ -28,7 +28,8 @@ from ..lang.symbols import ProgramInfo, eval_static
 from .errors import UtilityError
 from .layout import LayoutModel
 
-__all__ = ["linearize_utility", "linearize_condition", "linearize_term"]
+__all__ = ["linearize_utility", "linearize_condition", "linearize_term",
+           "eval_utility_term"]
 
 _BIG = 1e12
 
@@ -130,6 +131,39 @@ def linearize_utility(expr: ast.Expr, lm: LayoutModel,
                       info: ProgramInfo) -> LinExpr:
     """Objective expression for an ``optimize`` declaration."""
     return linearize_term(expr, lm, info)
+
+
+def eval_utility_term(expr: ast.Expr, env: dict) -> float:
+    """Numerically evaluate a utility term at concrete symbol values.
+
+    Unlike :func:`~repro.lang.symbols.eval_static`, this supports the
+    ``min``/``max`` calls allowed in utilities, so the greedy backend
+    (and per-module attribution) can score any objective the ILP can.
+    ``env`` maps symbolic/const names to values.
+    """
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.ident in ("min", "max"):
+        fn = min if expr.func.ident == "min" else max
+        return fn(eval_utility_term(arg, env) for arg in expr.args)
+    if isinstance(expr, ast.BinaryOp) and expr.op in _EVAL_OPS:
+        return _EVAL_OPS[expr.op](
+            eval_utility_term(expr.left, env),
+            eval_utility_term(expr.right, env),
+        )
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        return -eval_utility_term(expr.operand, env)
+    try:
+        return eval_static(expr, env)
+    except SemanticError as exc:
+        raise UtilityError(f"cannot evaluate utility term: {exc}") from exc
+
+
+_EVAL_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
 
 
 def linearize_condition(cond: ast.Expr, lm: LayoutModel,

@@ -90,6 +90,9 @@ class ScenarioOutcome:
     #: planner solver statistics for the committed reconfiguration
     #: (nodes explored, incumbent source, cache hit counters).
     solver_stats: dict = field(default_factory=dict)
+    #: per-module stage/memory/ALU/utility attribution of the committed
+    #: reconfiguration (module name → flat dict; linked sources only).
+    module_attribution: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -171,6 +174,8 @@ def _run_once(scenario: RuntimeScenario, migrate: bool,
         symbols_before=symbols_before,
         symbols_after=dict(report.final_symbols),
         solver_stats=dict(rec.solver_stats) if rec is not None else {},
+        module_attribution=(dict(rec.module_attribution)
+                            if rec is not None else {}),
     )
 
 

@@ -242,10 +242,21 @@ class Constraint:
 
 @dataclass
 class Objective:
-    """Objective function; the model normalizes to maximization."""
+    """Objective function; the model normalizes to maximization.
+
+    ``terms`` optionally names linear sub-expressions of ``expr`` (the
+    linker labels each module's weighted utility contribution) so a
+    solved assignment can be broken down per contributor.
+    """
 
     expr: LinExpr = field(default_factory=LinExpr)
     maximize: bool = True
+    terms: dict[str, LinExpr] = field(default_factory=dict)
+
+    def breakdown(self, assignment) -> dict[str, float]:
+        """Value of each named term under a solution assignment."""
+        return {name: expr.value(assignment)
+                for name, expr in self.terms.items()}
 
 
 class Model:
@@ -309,10 +320,11 @@ class Model:
         self.constraints.append(constr)
         return constr
 
-    def maximize(self, expr: LinExpr | Var) -> None:
+    def maximize(self, expr: LinExpr | Var,
+                 terms: dict[str, LinExpr] | None = None) -> None:
         if isinstance(expr, Var):
             expr = LinExpr.from_term(expr)
-        self.objective = Objective(expr, maximize=True)
+        self.objective = Objective(expr, maximize=True, terms=dict(terms or {}))
 
     def minimize(self, expr: LinExpr | Var) -> None:
         if isinstance(expr, Var):

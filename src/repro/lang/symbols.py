@@ -19,7 +19,8 @@ from dataclasses import dataclass, field
 from . import ast
 from .errors import SemanticError
 
-__all__ = ["ProgramInfo", "check_program", "eval_static", "StaticEnv"]
+__all__ = ["ModuleNamespace", "ProgramInfo", "check_program", "eval_static",
+           "StaticEnv"]
 
 StaticEnv = dict[str, int]
 
@@ -132,6 +133,30 @@ class RegisterInfo:
 
 
 @dataclass
+class ModuleNamespace:
+    """Which module owns each linked name.
+
+    Attached to :class:`ProgramInfo` by the linker so downstream layers
+    (layout, report, telemetry) can attribute stages, memory, and ALUs
+    back to the module that declared them. App-level glue (routing
+    tables, extra declarations) is owned by the pseudo-module
+    ``"(app)"``, which is *not* listed in :attr:`modules`.
+    """
+
+    modules: list[str] = field(default_factory=list)
+    symbolics: dict[str, str] = field(default_factory=dict)
+    registers: dict[str, str] = field(default_factory=dict)
+    actions: dict[str, str] = field(default_factory=dict)
+    tables: dict[str, str] = field(default_factory=dict)
+    controls: dict[str, str] = field(default_factory=dict)
+    fields: dict[str, str] = field(default_factory=dict)
+    consts: dict[str, str] = field(default_factory=dict)
+
+    def owner_of_field(self, field_name: str) -> str | None:
+        return self.fields.get(field_name)
+
+
+@dataclass
 class ProgramInfo:
     """Symbol tables and derived facts for one checked program."""
 
@@ -144,6 +169,8 @@ class ProgramInfo:
     controls: dict[str, ast.ControlDecl] = field(default_factory=dict)
     metadata: dict[str, MetadataField] = field(default_factory=dict)
     header_fields: dict[str, int] = field(default_factory=dict)
+    #: module ownership map when the program came from the linker
+    namespace: "ModuleNamespace | None" = None
 
     def metadata_fixed_bits(self) -> int:
         """PHV bits of inelastic metadata (the paper's ``P_fixed``)."""

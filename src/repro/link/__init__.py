@@ -1,0 +1,42 @@
+"""Module linker: multi-program composition as IR, not string splicing.
+
+The front end turns each elastic module into a cacheable
+:class:`~repro.link.moduleir.ModuleIR`; :func:`link_p4all_modules` (for
+``P4AllModule`` objects plus app glue) and :func:`link_files` (for
+standalone ``.p4all`` sources) merge the IRs into one
+:class:`~repro.link.linker.LinkedProgram` with module identity —
+namespace ownership, per-module utility terms, isolation diagnostics —
+preserved for every downstream layer. Compile a linked program with
+:func:`repro.core.compile_linked`.
+"""
+
+from .errors import IsolationError, LinkError
+from .linker import (
+    APP_MODULE,
+    LinkedProgram,
+    link_files,
+    link_p4all_modules,
+    splice_modules,
+)
+from .moduleir import (
+    ModuleIR,
+    build_module_ir,
+    module_fragment_source,
+    module_ir,
+    module_ir_from_source,
+)
+
+__all__ = [
+    "APP_MODULE",
+    "IsolationError",
+    "LinkError",
+    "LinkedProgram",
+    "ModuleIR",
+    "build_module_ir",
+    "link_files",
+    "link_p4all_modules",
+    "module_fragment_source",
+    "module_ir",
+    "module_ir_from_source",
+    "splice_modules",
+]

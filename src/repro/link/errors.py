@@ -1,0 +1,26 @@
+"""Linker error types.
+
+Both subclass :class:`~repro.core.errors.CompileError` so existing
+callers (the CLI, the runtime planner) that already catch compile
+errors handle link failures without new plumbing.
+"""
+
+from __future__ import annotations
+
+from ..core.errors import CompileError
+
+__all__ = ["LinkError", "IsolationError"]
+
+
+class LinkError(CompileError):
+    """Modules cannot be linked into one program (collision, bad input)."""
+
+
+class IsolationError(LinkError):
+    """A module touches stateful storage owned by another module.
+
+    Cross-module register access defeats per-tenant isolation: one
+    tenant's actions could read or corrupt another tenant's state. The
+    linker rejects it by default; pass ``allow_cross_module_state=True``
+    to downgrade the failure to diagnostics on the linked program.
+    """

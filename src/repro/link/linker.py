@@ -1,0 +1,642 @@
+"""The module linker: merge :class:`ModuleIR`\\ s into one program.
+
+This replaces string splicing as the composition mechanism. Each module
+is front-ended once (:mod:`repro.link.moduleir`), then the linker:
+
+* merges symbolics/assumes/declarations in the canonical compose order,
+  so linked compilation reproduces the legacy ``compose()`` layouts
+  bit-for-bit;
+* detects cross-module name collisions and prefix-rewrites the later
+  module's names (``{module}_{name}``);
+* unifies identical metadata field re-declarations and rejects
+  conflicting ones;
+* flags cross-module register access as an isolation violation
+  (:class:`~repro.link.errors.IsolationError`), unless downgraded to
+  diagnostics with ``allow_cross_module_state=True``;
+* records per-module utility terms (an explicit weighted sum) and
+  optional per-module utility floors for the layout ILP;
+* attaches a :class:`~repro.lang.symbols.ModuleNamespace` so every
+  downstream layer can attribute resources per module.
+
+The result is a :class:`LinkedProgram` the existing bounds/ILP/codegen
+phases consume unchanged (via :func:`repro.core.compile_linked`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Sequence
+
+from ..core.cache import source_fingerprint
+from ..lang import ast
+from ..lang.pretty import pretty_program
+from ..lang.symbols import ModuleNamespace, static_names
+from .errors import IsolationError, LinkError
+from .moduleir import (
+    ModuleIR,
+    module_ir,
+    module_ir_from_source,
+    rename_module_ir,
+)
+
+__all__ = ["LinkedProgram", "link_p4all_modules", "link_files",
+           "splice_modules", "APP_MODULE"]
+
+#: Owner label for app-level glue (extra declarations, routing tables).
+APP_MODULE = "(app)"
+
+_PRE_WRAPPER = "__link_pre__"
+_POST_WRAPPER = "__link_post__"
+
+
+@dataclass
+class LinkedProgram:
+    """One merged program with module identity preserved."""
+
+    name: str
+    program: ast.Program
+    source: str
+    fingerprint: str
+    modules: list[ModuleIR] = field(default_factory=list)
+    namespace: ModuleNamespace = field(default_factory=ModuleNamespace)
+    utility: ast.Expr | None = None
+    #: (module, weight, term-expr) triples — the ILP objective is the
+    #: explicit weighted sum of these.
+    utility_terms: list = field(default_factory=list)
+    #: module -> minimum weighted utility, enforced as ILP constraints.
+    floors: dict = field(default_factory=dict)
+    #: isolation diagnostics collected when cross-module state access is
+    #: allowed instead of rejected.
+    diagnostics: list = field(default_factory=list)
+    entry: str = "Ingress"
+    _relink: "Callable | None" = field(default=None, repr=False, compare=False)
+
+    @property
+    def module_names(self) -> list:
+        return [m.name for m in self.modules]
+
+    def reweight(self, weights: dict, floors: dict | None = None,
+                 cache=None) -> "LinkedProgram":
+        """Re-link with new per-module utility weights (and floors).
+
+        Only the objective changes, so every module's frontend artifacts
+        are cache hits — one tenant's re-weighting never re-parses the
+        others.
+        """
+        if self._relink is None:
+            raise LinkError(
+                f"linked program '{self.name}' does not support re-weighting"
+            )
+        return self._relink(weights, floors, cache)
+
+
+def splice_modules(
+    modules,
+    extra_metadata=None,
+    utility=None,
+    utility_weights=None,
+    extra_assumes=None,
+    extra_declarations=None,
+    pre_apply=None,
+    post_apply=None,
+    consts=None,
+) -> str:
+    """Render modules to one source string in the canonical splice order.
+
+    This is the exact legacy ``structures.compose()`` rendering, kept as
+    the linker's source-of-record so ``LinkedProgram.source`` (and the
+    reimplemented ``compose()``) stay byte-identical with the historical
+    output. Duck-typed on the module's string fields.
+    """
+    lines: list[str] = []
+    for name, value in (consts or {}).items():
+        lines.append(f"const int {name} = {value};")
+    for module in modules:
+        for sym in module.symbolics:
+            lines.append(f"symbolic int {sym};")
+    for module in modules:
+        for assume in module.assumes:
+            lines.append(f"assume {assume};")
+    for assume in extra_assumes or []:
+        lines.append(f"assume {assume};")
+    lines.append("")
+
+    lines.append("struct metadata {")
+    for fd in extra_metadata or []:
+        lines.append(f"    {fd}")
+    for module in modules:
+        for fd in module.metadata_fields:
+            lines.append(f"    {fd}")
+    lines.append("}")
+    lines.append("")
+
+    for decl in extra_declarations or []:
+        lines.append(decl)
+        lines.append("")
+    for module in modules:
+        lines.append(module.render_decls())
+        lines.append("")
+
+    lines.append("control Ingress(inout metadata meta) {")
+    lines.append("    apply {")
+    for stmt in pre_apply or []:
+        lines.append(f"        {stmt}")
+    for module in modules:
+        for call in module.apply_calls:
+            lines.append(f"        {call}")
+    for stmt in post_apply or []:
+        lines.append(f"        {stmt}")
+    lines.append("    }")
+    lines.append("}")
+    lines.append("")
+
+    if utility is None and utility_weights:
+        terms = []
+        for module in modules:
+            weight = utility_weights.get(module.name)
+            if weight is None or not module.utility_term:
+                continue
+            terms.append(f"{weight} * ({module.utility_term})")
+        utility = " + ".join(terms) if terms else None
+    if utility:
+        lines.append(f"optimize {utility};")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _glue_fragment(consts, extra_assumes, extra_metadata,
+                   extra_declarations, pre_apply, post_apply,
+                   utility) -> str:
+    """Render app-level glue as its own parseable module fragment."""
+    lines: list[str] = []
+    for name, value in (consts or {}).items():
+        lines.append(f"const int {name} = {value};")
+    for assume in extra_assumes or []:
+        lines.append(f"assume {assume};")
+    if extra_metadata:
+        lines.append("struct metadata {")
+        for fd in extra_metadata:
+            lines.append(f"    {fd}")
+        lines.append("}")
+    for decl in extra_declarations or []:
+        lines.append(decl)
+    for wrapper, stmts in ((_PRE_WRAPPER, pre_apply),
+                           (_POST_WRAPPER, post_apply)):
+        lines.append(f"control {wrapper}(inout metadata meta) {{")
+        lines.append("    apply {")
+        for stmt in stmts or []:
+            lines.append(f"        {stmt}")
+        lines.append("    }")
+        lines.append("}")
+    if utility:
+        lines.append(f"optimize {utility};")
+    return "\n".join(lines) + "\n"
+
+
+def _resolve_collisions(irs: Sequence[ModuleIR],
+                        fixed: Sequence[ModuleIR] = ()) -> tuple:
+    """Prefix-rewrite names of later modules that collide with earlier ones.
+
+    ``fixed`` modules (app glue) may not be renamed — the app refers to
+    its own names by text — so a glue collision is a hard error.
+    """
+    taken: dict[str, str] = {}
+    resolved: list[ModuleIR] = []
+    renamed_any = False
+    for ir in irs:
+        renames: dict[str, str] = {}
+        owned = ir.owned_names()
+        for name in owned:
+            if name in taken and taken[name] != ir.name:
+                new = f"{ir.name}_{name}"
+                if new in taken or new in owned:
+                    raise LinkError(
+                        f"cannot rename '{name}' of module '{ir.name}': "
+                        f"'{new}' is also taken"
+                    )
+                renames[name] = new
+        if renames:
+            ir = rename_module_ir(ir, renames)
+            renamed_any = True
+        for name in ir.owned_names():
+            taken[name] = ir.name
+        resolved.append(ir)
+    for ir in fixed:
+        for name in ir.owned_names():
+            if name in taken:
+                raise LinkError(
+                    f"app glue declares '{name}', which module "
+                    f"'{taken[name]}' already owns; rename the glue "
+                    f"declaration"
+                )
+            taken[name] = APP_MODULE
+    return resolved, renamed_any
+
+
+def _merge_metadata(groups) -> tuple:
+    """Union metadata fields across modules.
+
+    ``groups`` is ``[(owner, [FieldDecl, ...]), ...]`` in splice order.
+    Identical re-declarations unify (fields are the intended sharing
+    surface — two modules keying on ``meta.flow_id`` both declare it);
+    conflicting ones are a link error.
+    """
+    fields: list = []
+    owner: dict[str, str] = {}
+    decl_by_name: dict = {}
+    for owner_name, group in groups:
+        for fd in group:
+            prev = decl_by_name.get(fd.name)
+            if prev is None:
+                decl_by_name[fd.name] = fd
+                owner[fd.name] = owner_name
+                fields.append(fd)
+            elif prev != fd:
+                raise LinkError(
+                    f"metadata field '{fd.name}' declared differently by "
+                    f"'{owner[fd.name]}' and '{owner_name}'"
+                )
+    return fields, owner
+
+
+def _merge_consts(groups) -> tuple:
+    """Union const declarations; identical duplicates unify."""
+    decls: list = []
+    owner: dict[str, str] = {}
+    decl_by_name: dict = {}
+    for owner_name, group in groups:
+        for cd in group:
+            prev = decl_by_name.get(cd.name)
+            if prev is None:
+                decl_by_name[cd.name] = cd
+                owner[cd.name] = owner_name
+                decls.append(cd)
+            elif prev != cd:
+                raise LinkError(
+                    f"const '{cd.name}' declared differently by "
+                    f"'{owner[cd.name]}' and '{owner_name}'"
+                )
+    return decls, owner
+
+
+def _check_isolation(irs: Sequence[ModuleIR], register_owner: dict,
+                     allow: bool) -> list:
+    """Flag cross-module register access.
+
+    Walks each module's declarations and apply statements; any ``Name``
+    that resolves to a register owned by a *different* module is an
+    isolation violation. App glue is exempt (it is the composition
+    point, e.g. NetCache's routing acts on both modules' results).
+    """
+    diagnostics: list = []
+    seen: set = set()
+    for ir in irs:
+        for root in list(ir.decls) + list(ir.apply_stmts):
+            for node in ast.walk(root):
+                if not isinstance(node, ast.Name):
+                    continue
+                owner = register_owner.get(node.ident)
+                if owner is None or owner in (ir.name, APP_MODULE):
+                    continue
+                key = (ir.name, node.ident)
+                if key in seen:
+                    continue
+                seen.add(key)
+                message = (
+                    f"isolation violation: module '{ir.name}' accesses "
+                    f"register '{node.ident}' owned by module '{owner}'"
+                )
+                if not allow:
+                    raise IsolationError(
+                        message + "; modules must share state through "
+                        "metadata fields, or link with "
+                        "allow_cross_module_state=True"
+                    )
+                diagnostics.append(message)
+    return diagnostics
+
+
+def _build_namespace(irs, field_owner, const_owner,
+                     glue: ModuleIR | None) -> ModuleNamespace:
+    ns = ModuleNamespace(modules=[ir.name for ir in irs])
+    ns.fields = dict(field_owner)
+    ns.consts = dict(const_owner)
+    members = list(irs)
+    if glue is not None:
+        members.append(glue)
+    for ir in members:
+        owner = APP_MODULE if ir is glue else ir.name
+        for sym in ir.symbolics:
+            ns.symbolics[sym] = owner
+        for reg in ir.registers:
+            ns.registers[reg] = owner
+        for act in ir.actions:
+            ns.actions[act] = owner
+        for tbl in ir.tables:
+            ns.tables[tbl] = owner
+        for ctl in ir.controls:
+            ns.controls[ctl] = owner
+    return ns
+
+
+def _weighted_sum(terms) -> "ast.Expr | None":
+    """Fold (module, weight, expr) triples into one left-associated sum.
+
+    Mirrors how the legacy weighted-utility string parses:
+    ``w1 * (t1) + w2 * (t2)`` is ``((w1*t1) + (w2*t2))`` left-to-right,
+    with integer weights as ``IntLit`` and everything else ``FloatLit``.
+    """
+    combined = None
+    for _module, weight, term in terms:
+        if isinstance(weight, int) and not isinstance(weight, bool):
+            lit: ast.Expr = ast.IntLit(weight)
+        else:
+            lit = ast.FloatLit(float(weight))
+        weighted = ast.BinaryOp("*", lit, term)
+        combined = (weighted if combined is None
+                    else ast.BinaryOp("+", combined, weighted))
+    return combined
+
+
+def _flatten_sum(expr: ast.Expr) -> list:
+    if isinstance(expr, ast.BinaryOp) and expr.op == "+":
+        return _flatten_sum(expr.left) + _flatten_sum(expr.right)
+    return [expr]
+
+
+def _split_utility(expr: ast.Expr, ns: ModuleNamespace) -> list:
+    """Attribute each top-level ``+`` term of an explicit utility.
+
+    A term whose symbolics all belong to one module is that module's;
+    anything mixed (or purely constant) lands in the ``(app)`` bucket.
+    """
+    terms = []
+    for term in _flatten_sum(expr):
+        owners = {ns.symbolics.get(name) for name in static_names(term)}
+        owners.discard(None)
+        owner = owners.pop() if len(owners) == 1 else APP_MODULE
+        terms.append((owner, 1.0, term))
+    return terms
+
+
+def _check_floors(floors, known: set) -> dict:
+    floors = dict(floors or {})
+    for module in floors:
+        if module not in known:
+            raise LinkError(
+                f"utility floor names unknown module '{module}' "
+                f"(have: {', '.join(sorted(known))})"
+            )
+    return floors
+
+
+def _merge_program(glue: ModuleIR | None, irs: Sequence[ModuleIR],
+                   merged_fields, merged_consts, glue_decls,
+                   pre_stmts, post_stmts, utility_expr,
+                   source: str, entry: str, name: str) -> ast.Program:
+    """Assemble the linked AST in canonical splice order."""
+    decls: list = []
+    decls.extend(merged_consts)
+    for ir in irs:
+        decls.extend(ir.symbolic_decls)
+    for ir in irs:
+        decls.extend(ir.assume_decls)
+    if glue is not None:
+        decls.extend(glue.assume_decls)
+    decls.append(ast.StructDecl(name="metadata", fields=list(merged_fields)))
+    decls.extend(glue_decls)
+    for ir in irs:
+        decls.extend(ir.decls)
+    apply_stmts = list(pre_stmts)
+    for ir in irs:
+        apply_stmts.extend(ir.apply_stmts)
+    apply_stmts.extend(post_stmts)
+    decls.append(ast.ControlDecl(
+        name=entry,
+        params=[ast.Param("inout", ast.NamedType("metadata"), "meta")],
+        locals=[],
+        apply=ast.Block(apply_stmts),
+    ))
+    if utility_expr is not None:
+        decls.append(ast.OptimizeDecl(utility_expr))
+    return ast.Program(decls=decls, source=source, filename=f"<linked {name}>")
+
+
+def link_p4all_modules(
+    modules,
+    extra_metadata=None,
+    utility=None,
+    utility_weights=None,
+    extra_assumes=None,
+    extra_declarations=None,
+    pre_apply=None,
+    post_apply=None,
+    consts=None,
+    floors=None,
+    cache=None,
+    allow_cross_module_state=False,
+    name=None,
+    entry="Ingress",
+) -> LinkedProgram:
+    """Link ``P4AllModule`` objects (plus app glue) into one program.
+
+    Takes the full legacy ``compose()`` keyword surface, so
+    ``compose()`` is a thin wrapper returning ``.source``. The rendered
+    source is byte-identical with the historical splice whenever no
+    collision renames fire (library modules are pre-prefixed, so renames
+    only trigger when two modules share a prefix).
+    """
+    modules = list(modules)
+    names = [m.name for m in modules]
+    if len(set(names)) != len(names):
+        raise LinkError(f"duplicate module names in link: {names}")
+
+    irs = [module_ir(m, cache) for m in modules]
+
+    glue_source = _glue_fragment(consts, extra_assumes, extra_metadata,
+                                 extra_declarations, pre_apply, post_apply,
+                                 utility)
+    glue = module_ir_from_source(APP_MODULE, glue_source, cache,
+                                 entry=_PRE_WRAPPER)
+    # The glue fragment carries two wrapper controls; _PRE is the entry
+    # (already inlined), _POST is extracted from the leftover decls.
+    post_ctrl = next(
+        d for d in glue.decls
+        if isinstance(d, ast.ControlDecl) and d.name == _POST_WRAPPER
+    )
+    glue_decls = [
+        d for d in glue.decls
+        if not (isinstance(d, ast.ControlDecl) and d.name == _POST_WRAPPER)
+    ]
+    glue_view = ModuleIR(
+        name=glue.name, source=glue.source, fingerprint=glue.fingerprint,
+        entry=glue.entry, program=glue.program,
+        symbolic_decls=glue.symbolic_decls, assume_decls=glue.assume_decls,
+        const_decls=glue.const_decls, metadata_fields=glue.metadata_fields,
+        decls=glue_decls, apply_stmts=glue.apply_stmts, utility=glue.utility,
+        registers=glue.registers, actions=glue.actions, tables=glue.tables,
+        controls=[c for c in glue.controls if c != _POST_WRAPPER],
+    )
+
+    irs, renamed_any = _resolve_collisions(irs, fixed=[glue_view])
+
+    merged_fields, field_owner = _merge_metadata(
+        [(APP_MODULE, glue_view.metadata_fields)]
+        + [(ir.name, ir.metadata_fields) for ir in irs]
+    )
+    merged_consts, const_owner = _merge_consts(
+        [(APP_MODULE, glue_view.const_decls)]
+        + [(ir.name, ir.const_decls) for ir in irs]
+    )
+    ns = _build_namespace(irs, field_owner, const_owner, glue_view)
+    diagnostics = _check_isolation(irs, ns.registers,
+                                   allow_cross_module_state)
+
+    if utility is not None:
+        utility_expr = glue_view.utility
+        terms = (_split_utility(utility_expr, ns)
+                 if utility_expr is not None else [])
+    elif utility_weights:
+        terms = [
+            (ir.name, utility_weights[module.name], ir.utility)
+            for module, ir in zip(modules, irs)
+            if utility_weights.get(module.name) is not None
+            and ir.utility is not None
+        ]
+        utility_expr = _weighted_sum(terms)
+    else:
+        terms, utility_expr = [], None
+
+    floors = _check_floors(floors, set(ns.modules) | {APP_MODULE})
+
+    if renamed_any:
+        source = ""
+    else:
+        source = splice_modules(
+            modules, extra_metadata=extra_metadata, utility=utility,
+            utility_weights=utility_weights, extra_assumes=extra_assumes,
+            extra_declarations=extra_declarations, pre_apply=pre_apply,
+            post_apply=post_apply, consts=consts,
+        )
+    link_name = name or "+".join(ir.name for ir in irs)
+    program = _merge_program(
+        glue_view, irs, merged_fields, merged_consts, glue_decls,
+        glue_view.apply_stmts, post_ctrl.apply.stmts, utility_expr,
+        source, entry, link_name,
+    )
+    if renamed_any:
+        # The legacy splice would contain duplicate declarations; render
+        # the renamed AST instead so the source matches what compiles.
+        source = pretty_program(program)
+        program.source = source
+
+    def relink(new_weights, new_floors, new_cache):
+        return link_p4all_modules(
+            modules, extra_metadata=extra_metadata, utility=None,
+            utility_weights=new_weights, extra_assumes=extra_assumes,
+            extra_declarations=extra_declarations, pre_apply=pre_apply,
+            post_apply=post_apply, consts=consts,
+            floors=new_floors if new_floors is not None else floors,
+            cache=new_cache if new_cache is not None else cache,
+            allow_cross_module_state=allow_cross_module_state,
+            name=name, entry=entry,
+        )
+
+    return LinkedProgram(
+        name=link_name, program=program, source=source,
+        fingerprint=_linked_fingerprint(source, floors),
+        modules=irs, namespace=ns, utility=utility_expr,
+        utility_terms=terms, floors=floors, diagnostics=diagnostics,
+        entry=entry, _relink=relink,
+    )
+
+
+def link_files(
+    sources,
+    weights=None,
+    floors=None,
+    cache=None,
+    allow_cross_module_state=False,
+    entry="Ingress",
+    name=None,
+) -> LinkedProgram:
+    """Link standalone ``.p4all`` sources into one joint program.
+
+    ``sources`` is a list of paths or ``(module_name, source_text)``
+    pairs; a path's module name is its stem. Each file's entry control
+    is inlined, so per-file ``Ingress`` controls never collide. Each
+    file's ``optimize`` becomes that module's utility term; ``weights``
+    (module name → weight, default 1.0 each) build the joint objective.
+    """
+    named: list = []
+    for item in sources:
+        if isinstance(item, (str, Path)):
+            path = Path(item)
+            named.append((path.stem.replace("-", "_"), path.read_text()))
+        else:
+            module_name, text = item
+            named.append((module_name, text))
+    names = [n for n, _ in named]
+    if len(set(names)) != len(names):
+        raise LinkError(f"duplicate module names in link: {names}")
+
+    weights = dict(weights or {})
+    for module in weights:
+        if module not in names:
+            raise LinkError(
+                f"--weights names unknown module '{module}' "
+                f"(have: {', '.join(names)})"
+            )
+
+    irs = [module_ir_from_source(n, text, cache, entry=entry)
+           for n, text in named]
+    irs, _renamed = _resolve_collisions(irs)
+
+    merged_fields, field_owner = _merge_metadata(
+        [(ir.name, ir.metadata_fields) for ir in irs]
+    )
+    merged_consts, const_owner = _merge_consts(
+        [(ir.name, ir.const_decls) for ir in irs]
+    )
+    ns = _build_namespace(irs, field_owner, const_owner, None)
+    diagnostics = _check_isolation(irs, ns.registers,
+                                   allow_cross_module_state)
+
+    terms = [
+        (ir.name, weights.get(ir.name, 1.0), ir.utility)
+        for ir in irs if ir.utility is not None
+    ]
+    utility_expr = _weighted_sum(terms)
+    floors = _check_floors(floors, set(ns.modules))
+
+    link_name = name or "+".join(ir.name for ir in irs)
+    program = _merge_program(
+        None, irs, merged_fields, merged_consts, [], [], [], utility_expr,
+        "", entry, link_name,
+    )
+    source = pretty_program(program)
+    program.source = source
+
+    def relink(new_weights, new_floors, new_cache):
+        return link_files(
+            named,
+            weights=new_weights if new_weights is not None else weights,
+            floors=new_floors if new_floors is not None else floors,
+            cache=new_cache if new_cache is not None else cache,
+            allow_cross_module_state=allow_cross_module_state,
+            entry=entry, name=name,
+        )
+
+    return LinkedProgram(
+        name=link_name, program=program, source=source,
+        fingerprint=_linked_fingerprint(source, floors),
+        modules=irs, namespace=ns, utility=utility_expr,
+        utility_terms=terms, floors=floors, diagnostics=diagnostics,
+        entry=entry, _relink=relink,
+    )
+
+
+def _linked_fingerprint(source: str, floors: dict) -> str:
+    salt = "".join(f"\x00floor:{m}={v}" for m, v in sorted(floors.items()))
+    return source_fingerprint(source + salt)

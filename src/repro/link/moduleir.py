@@ -1,0 +1,218 @@
+"""Per-module front end: parse one elastic module into a cacheable IR.
+
+A :class:`ModuleIR` is the namespaced, per-module unit the linker works
+with: the module's symbolic sizes, assumes, metadata fields, top-level
+declarations, apply-block statements, and utility term — each held as
+*AST nodes*, not strings. A module is rendered to a small standalone
+fragment (wrapping its apply calls in a ``__module_apply__`` control so
+the fragment parses on its own), parsed once, and memoized by fragment
+text, so editing one module of a linked program re-parses only that
+module.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+
+from ..core.cache import source_fingerprint
+from ..lang import ast
+from ..lang.errors import P4AllError
+from ..lang.parser import parse_program
+from .errors import LinkError
+
+__all__ = [
+    "ModuleIR",
+    "WRAPPER_CONTROL",
+    "module_fragment_source",
+    "build_module_ir",
+    "module_ir",
+    "module_ir_from_source",
+    "rename_module_ir",
+]
+
+#: Name of the synthetic control that wraps a module's apply calls so a
+#: fragment parses standalone. Stripped (inlined) during linking.
+WRAPPER_CONTROL = "__module_apply__"
+
+#: Struct names the checker recognises as the metadata struct.
+METADATA_STRUCTS = ("metadata", "metadata_t", "meta_t")
+
+
+@dataclass
+class ModuleIR:
+    """The analyzed, linkable form of one elastic module."""
+
+    name: str
+    source: str
+    fingerprint: str
+    entry: str
+    program: ast.Program
+    symbolic_decls: list = field(default_factory=list)
+    assume_decls: list = field(default_factory=list)
+    const_decls: list = field(default_factory=list)
+    metadata_fields: list = field(default_factory=list)
+    decls: list = field(default_factory=list)
+    apply_stmts: list = field(default_factory=list)
+    utility: ast.Expr | None = None
+    registers: list = field(default_factory=list)
+    actions: list = field(default_factory=list)
+    tables: list = field(default_factory=list)
+    controls: list = field(default_factory=list)
+
+    @property
+    def symbolics(self) -> list:
+        return [d.name for d in self.symbolic_decls]
+
+    @property
+    def consts(self) -> list:
+        return [d.name for d in self.const_decls]
+
+    def owned_names(self) -> list:
+        """Names this module introduces into the link-global namespace.
+
+        Metadata fields and consts are deliberately excluded: fields are
+        the sharing surface between modules (identical re-declarations
+        unify), and const collisions are resolved decl-by-decl.
+        """
+        return (list(self.symbolics) + list(self.registers)
+                + list(self.actions) + list(self.tables)
+                + list(self.controls))
+
+
+def module_fragment_source(module) -> str:
+    """Render a ``P4AllModule``-shaped object as a standalone fragment.
+
+    Duck-typed on the module's string fields so this layer never imports
+    ``repro.structures``. The fragment is parse-only input: references
+    to metadata fields supplied by app glue are fine, since semantic
+    checking happens on the *linked* program.
+    """
+    lines: list[str] = []
+    for sym in module.symbolics:
+        lines.append(f"symbolic int {sym};")
+    for assume in module.assumes:
+        lines.append(f"assume {assume};")
+    if module.metadata_fields:
+        lines.append("struct metadata {")
+        for fld in module.metadata_fields:
+            lines.append(f"    {fld}")
+        lines.append("}")
+    for decl in module.declarations:
+        lines.append(decl)
+    lines.append(f"control {WRAPPER_CONTROL}(inout metadata meta) {{")
+    lines.append("    apply {")
+    for call in module.apply_calls:
+        lines.append(f"        {call}")
+    lines.append("    }")
+    lines.append("}")
+    if module.utility_term:
+        lines.append(f"optimize {module.utility_term};")
+    return "\n".join(lines) + "\n"
+
+
+def _extract(name: str, source: str, fingerprint: str, entry: str,
+             program: ast.Program) -> ModuleIR:
+    """Slice a parsed fragment into the linkable pieces."""
+    ir = ModuleIR(name=name, source=source, fingerprint=fingerprint,
+                  entry=entry, program=program)
+    for decl in program.decls:
+        if isinstance(decl, ast.SymbolicDecl):
+            ir.symbolic_decls.append(decl)
+        elif isinstance(decl, ast.AssumeDecl):
+            ir.assume_decls.append(decl)
+        elif isinstance(decl, ast.ConstDecl):
+            ir.const_decls.append(decl)
+        elif isinstance(decl, ast.OptimizeDecl):
+            ir.utility = decl.utility
+        elif (isinstance(decl, ast.StructDecl)
+              and decl.name in METADATA_STRUCTS):
+            ir.metadata_fields.extend(decl.fields)
+        elif isinstance(decl, ast.ControlDecl) and decl.name == entry:
+            # Inline the wrapper: hoist locals, keep the apply body.
+            ir.decls.extend(decl.locals)
+            ir.apply_stmts.extend(decl.apply.stmts)
+        else:
+            ir.decls.append(decl)
+    ir.registers = [r.name for r in program.registers()]
+    ir.actions = [a.name for a in program.actions()]
+    ir.tables = [t.name for t in program.tables()]
+    ir.controls = [c.name for c in program.controls() if c.name != entry]
+    return ir
+
+
+def build_module_ir(name: str, source: str,
+                    entry: str = WRAPPER_CONTROL) -> ModuleIR:
+    """Parse one module fragment into its IR (uncached)."""
+    try:
+        program = parse_program(source, filename=f"<module {name}>")
+    except P4AllError as exc:
+        raise LinkError(f"module '{name}' failed to parse: {exc}") from exc
+    return _extract(name, source, source_fingerprint(source), entry, program)
+
+
+# Process-wide memo for linker calls without an explicit CompileCache
+# (e.g. legacy compose() sweeps). Bounded: cleared wholesale at the cap.
+_FRAGMENT_MEMO: dict = {}
+_FRAGMENT_MEMO_CAP = 256
+
+
+def _memoized_ir(name: str, source: str, cache, entry: str) -> ModuleIR:
+    key = f"{entry}\x00{name}\x00{source}"
+    if cache is not None and hasattr(cache, "module"):
+        ir, _hit = cache.module(key, lambda: build_module_ir(name, source, entry))
+        return ir
+    ir = _FRAGMENT_MEMO.get(key)
+    if ir is None:
+        if len(_FRAGMENT_MEMO) >= _FRAGMENT_MEMO_CAP:
+            _FRAGMENT_MEMO.clear()
+        ir = build_module_ir(name, source, entry)
+        _FRAGMENT_MEMO[key] = ir
+    return ir
+
+
+def module_ir(module, cache=None) -> ModuleIR:
+    """Front-end one ``P4AllModule``, memoized per fragment text."""
+    return _memoized_ir(module.name, module_fragment_source(module), cache,
+                        WRAPPER_CONTROL)
+
+
+def module_ir_from_source(name: str, source: str, cache=None,
+                          entry: str = "Ingress") -> ModuleIR:
+    """Front-end a standalone ``.p4all`` source as one module.
+
+    The file's entry control (``Ingress`` by default) plays the wrapper
+    role: its apply block becomes the module's apply statements and its
+    locals are hoisted, so entry controls never collide across files.
+    """
+    return _memoized_ir(name, source, cache, entry)
+
+
+def rename_module_ir(ir: ModuleIR, renames: dict) -> ModuleIR:
+    """Apply a symbol-rename map, returning a fresh ModuleIR.
+
+    Deep-copies the fragment program and rewrites every ``Name`` use,
+    declaration name, and table action reference. Used by the linker to
+    prefix-rewrite colliding names; the original IR (and the cache entry
+    holding it) is left untouched.
+    """
+    if not renames:
+        return ir
+    program = copy.deepcopy(ir.program)
+    for node in ast.walk(program):
+        if isinstance(node, ast.Name) and node.ident in renames:
+            node.ident = renames[node.ident]
+        elif isinstance(node, (ast.SymbolicDecl, ast.RegisterDecl,
+                               ast.ActionDecl, ast.ControlDecl)):
+            if node.name in renames:
+                node.name = renames[node.name]
+        elif isinstance(node, ast.TableDecl):
+            if node.name in renames:
+                node.name = renames[node.name]
+            node.actions = [renames.get(a, a) for a in node.actions]
+            if node.default_action in renames:
+                node.default_action = renames[node.default_action]
+    fingerprint = source_fingerprint(
+        ir.fingerprint + "".join(f"{k}\x00{v};" for k, v in sorted(renames.items()))
+    )
+    return _extract(ir.name, ir.source, fingerprint, ir.entry, program)

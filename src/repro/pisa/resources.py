@@ -101,6 +101,20 @@ class TargetSpec:
         """Stateless ALUs needed to implement an action with ``cost``."""
         return self.stateless_weight * cost.stateless_ops + self.hash_weight * cost.hash_ops
 
+    def alu_breakdown(self, cost: ActionCost) -> dict[str, int]:
+        """Weighted ALU demand of one action cost, split by ALU class.
+
+        Used by per-module resource attribution: summing these over a
+        module's placed units gives the module's share of the pipeline's
+        stateful/stateless ALU budget (hash ops are reported raw,
+        alongside their weighted contribution inside ``stateless``).
+        """
+        return {
+            "stateful": self.hf(cost),
+            "stateless": self.hl(cost),
+            "hash": cost.hash_ops,
+        }
+
     # -- aggregates used by the unrolling bound (§4.2) -----------------------
     @property
     def total_alus(self) -> int:

@@ -26,7 +26,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
-from ..apps.netcache import NETCACHE_UTILITY, NetCacheApp, netcache_source
+from ..apps.netcache import NETCACHE_UTILITY, NetCacheApp, netcache_linked
 from ..core import CompileOptions, validate_layout
 from ..core.errors import CompileError
 from ..pisa import Packet
@@ -73,6 +73,9 @@ class ReconfigRecord:
     #: solver/cache observability from the planner (nodes explored,
     #: incumbent source, cache hit/miss counters)
     solver_stats: dict = field(default_factory=dict)
+    #: per-module stage/memory/ALU/utility attribution (module name →
+    #: flat dict), populated when the runtime source is a LinkedProgram
+    module_attribution: dict = field(default_factory=dict)
 
 
 @dataclass
@@ -84,6 +87,13 @@ class RunReport:
     timeline: list[float] = field(default_factory=list)   # per-window hit rate
     reconfigs: list[ReconfigRecord] = field(default_factory=list)
     final_symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def module_attribution(self) -> dict:
+        """Per-module attribution of the last committed reconfiguration
+        (empty for string-composed sources)."""
+        committed = [r for r in self.reconfigs if r.committed]
+        return committed[-1].module_attribution if committed else {}
 
     @property
     def hit_rate(self) -> float:
@@ -139,6 +149,7 @@ class RunReport:
             "timeline": self.timeline,
             "final_symbols": self.final_symbols,
             "recovery_ratio": self.recovery_ratio(),
+            "module_attribution": self.module_attribution,
             "reconfigs": [
                 {
                     "cause": r.cause,
@@ -151,6 +162,7 @@ class RunReport:
                     "error": r.error,
                     "symbol_values": r.symbol_values,
                     "solver_stats": r.solver_stats,
+                    "module_attribution": r.module_attribution,
                     "migration": (r.migration.to_dict()
                                   if r.migration is not None else None),
                 }
@@ -165,7 +177,7 @@ class ElasticRuntime:
     def __init__(
         self,
         target: TargetSpec,
-        source: str | None = None,
+        source=None,
         utility: str = NETCACHE_UTILITY,
         options: CompileOptions | None = None,
         config: RuntimeConfig | None = None,
@@ -177,8 +189,11 @@ class ElasticRuntime:
         self.telemetry = telemetry if telemetry is not None else TelemetryBus()
         # The runtime's control loop needs register-level access to both
         # structures, so it drives the library NetCache composition
-        # (routing omitted: the runtime exercises the cache path).
-        self.source = source or netcache_source(
+        # (routing omitted: the runtime exercises the cache path). The
+        # default goes through the module linker so every reconfig
+        # carries per-module resource attribution; a plain source string
+        # is still accepted.
+        self.source = source or netcache_linked(
             utility=utility, with_routing=False
         )
         self.planner = planner if planner is not None else ReconfigPlanner(
@@ -210,11 +225,16 @@ class ElasticRuntime:
         )
 
     # -- construction ----------------------------------------------------------
+    @property
+    def source_text(self) -> str:
+        """The P4All source text regardless of how it was composed."""
+        return self.source if isinstance(self.source, str) else self.source.source
+
     def _build_app(self, compiled) -> NetCacheApp:
         return NetCacheApp(
             compiled.target,
             hot_threshold=self.config.hot_threshold,
-            source=self.source,
+            source=self.source_text,
             compiled=compiled,
             engine=self.config.engine,
         )
@@ -275,6 +295,7 @@ class ElasticRuntime:
         record.fallback = plan.fallback
         record.symbol_values = dict(plan.compiled.symbol_values)
         record.solver_stats = dict(plan.solver_stats)
+        record.module_attribution = dict(plan.module_attribution)
         new_app = self._build_app(plan.compiled)
 
         if self.config.migrate_state:

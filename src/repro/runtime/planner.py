@@ -54,8 +54,11 @@ from ..core import (
     CompiledProgram,
     LayoutInfeasibleError,
     LayoutTimeoutError,
+    compile_linked,
+    compile_linked_greedy,
     compile_source,
     compile_source_greedy,
+    module_attribution,
 )
 from ..core.cache import CompileCache
 from ..core.errors import CompileError
@@ -86,6 +89,9 @@ class PlanResult:
     #: ``incumbent_source``, per-tier cache hit/miss counters, and
     #: whether any compile phase was served from cache.
     solver_stats: dict = field(default_factory=dict)
+    #: Per-module stage/memory/ALU/utility attribution (module name →
+    #: flat dict), populated when the planned program was linked.
+    module_attribution: dict = field(default_factory=dict)
 
     @property
     def symbol_values(self) -> dict[str, int]:
@@ -134,6 +140,22 @@ class ReconfigPlanner:
         """An incumbent that placed nothing is no better than a timeout."""
         return bool(compiled.units)
 
+    # ``source`` may be a P4All source string or a LinkedProgram; the
+    # two compile entry points differ, everything downstream is shared.
+    @staticmethod
+    def _compile(source, target, options, source_name="runtime"):
+        if isinstance(source, str):
+            return compile_source(source, target, options,
+                                  source_name=source_name)
+        return compile_linked(source, target, options)
+
+    @staticmethod
+    def _compile_greedy(source, target, options, source_name="runtime"):
+        if isinstance(source, str):
+            return compile_source_greedy(source, target, options,
+                                         source_name=source_name)
+        return compile_linked_greedy(source, target, options)
+
     def _solver_stats(self, compiled: CompiledProgram) -> dict:
         sol = compiled.solution
         stats = {
@@ -146,11 +168,14 @@ class ReconfigPlanner:
         stats.update(self.cache.snapshot())
         return stats
 
-    def plan(self, source: str, target: TargetSpec,
+    def plan(self, source, target: TargetSpec,
              cause: str = "unspecified") -> PlanResult:
         """Compile ``source`` for ``target``; see the module docstring
-        for the retry/fallback policy. Raises :class:`PlanError` when
-        even the greedy path cannot produce a layout."""
+        for the retry/fallback policy. ``source`` is a P4All source
+        string or a :class:`~repro.link.LinkedProgram` (per-module
+        attribution rides along on the result for the latter). Raises
+        :class:`PlanError` when even the greedy path cannot produce a
+        layout."""
         started = time.perf_counter()
         if self.race and self.options.backend != "greedy":
             result = self._plan_race(source, target, cause, started)
@@ -158,11 +183,32 @@ class ReconfigPlanner:
             result = self._plan_sequential(source, target, cause, started)
         self._last_solution = result.compiled.solution
         result.solver_stats = self._solver_stats(result.compiled)
+        attribution = module_attribution(result.compiled)
+        if attribution:
+            result.module_attribution = {
+                name: a.to_dict() for name, a in attribution.items()
+            }
+            self.telemetry.emit("module_attribution", cause=cause,
+                                modules=result.module_attribution)
         self.cache.emit(self.telemetry, cause=cause)
         return result
 
+    def reweight(self, linked, weights: dict, target: TargetSpec,
+                 floors: dict | None = None,
+                 cause: str = "reweight") -> tuple:
+        """Re-weight one tenant's utility and re-plan.
+
+        Re-links ``linked`` with the new per-module ``weights`` (and
+        optional ``floors``) through this planner's shared cache — only
+        the objective changes, so every module's frontend artifacts are
+        reused and no other tenant's module is re-parsed — then plans
+        the relinked program. Returns ``(relinked, PlanResult)``.
+        """
+        relinked = linked.reweight(weights, floors=floors, cache=self.cache)
+        return relinked, self.plan(relinked, target, cause=cause)
+
     # ---------------------------------------------------------------- sequential --
-    def _plan_sequential(self, source: str, target: TargetSpec,
+    def _plan_sequential(self, source, target: TargetSpec,
                          cause: str, started: float) -> PlanResult:
         attempts: list[dict] = []
         time_limit = self.options.time_limit
@@ -177,9 +223,8 @@ class ReconfigPlanner:
                 }
                 t0 = time.perf_counter()
                 try:
-                    compiled = compile_source(
+                    compiled = self._compile(
                         source, target, self._options_with(time_limit),
-                        source_name="runtime",
                     )
                 except LayoutTimeoutError as exc:
                     record.update(outcome="timeout",
@@ -240,8 +285,8 @@ class ReconfigPlanner:
                   "attempt": len(attempts)}
         t0 = time.perf_counter()
         try:
-            compiled = compile_source_greedy(
-                source, target, self._options_with(None), source_name="runtime"
+            compiled = self._compile_greedy(
+                source, target, self._options_with(None)
             )
         except CompileError as exc:
             record.update(outcome="error", seconds=time.perf_counter() - t0,
@@ -263,7 +308,7 @@ class ReconfigPlanner:
         )
 
     # --------------------------------------------------------------------- race --
-    def _plan_race(self, source: str, target: TargetSpec,
+    def _plan_race(self, source, target: TargetSpec,
                    cause: str, started: float) -> PlanResult:
         """Run ILP and greedy candidates concurrently; see module docs.
 
@@ -277,11 +322,11 @@ class ReconfigPlanner:
         pool = ThreadPoolExecutor(max_workers=2, thread_name_prefix="plan-race")
         t0 = time.perf_counter()
         ilp_future = pool.submit(
-            compile_source, source, target,
+            self._compile, source, target,
             self._options_with(time_limit), "runtime",
         )
         greedy_future = pool.submit(
-            compile_source_greedy, source, target,
+            self._compile_greedy, source, target,
             self._options_with(None, backend="greedy", warm_start=None),
             "runtime",
         )

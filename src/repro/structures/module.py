@@ -54,58 +54,25 @@ def compose(
     ``0.4*(rows*cols) + 0.6*(kv_items)`` pattern. ``pre_apply`` /
     ``post_apply`` are raw statements placed around the module calls in
     the Ingress apply block.
+
+    Implemented on the module linker: the modules are front-ended into
+    per-module IRs, linked (collision and isolation checks included),
+    and the linked program's rendered source — byte-identical with the
+    historical string splice — is returned. Callers that want the
+    structured result should use :func:`repro.link.link_p4all_modules`
+    directly.
     """
-    lines: list[str] = []
-    for name, value in (consts or {}).items():
-        lines.append(f"const int {name} = {value};")
-    for module in modules:
-        for sym in module.symbolics:
-            lines.append(f"symbolic int {sym};")
-    for module in modules:
-        for assume in module.assumes:
-            lines.append(f"assume {assume};")
-    for assume in extra_assumes or []:
-        lines.append(f"assume {assume};")
-    lines.append("")
+    from ..link import link_p4all_modules
 
-    lines.append("struct metadata {")
-    for fd in extra_metadata or []:
-        lines.append(f"    {fd}")
-    for module in modules:
-        for fd in module.metadata_fields:
-            lines.append(f"    {fd}")
-    lines.append("}")
-    lines.append("")
-
-    for decl in extra_declarations or []:
-        lines.append(decl)
-        lines.append("")
-    for module in modules:
-        lines.append(module.render_decls())
-        lines.append("")
-
-    lines.append("control Ingress(inout metadata meta) {")
-    lines.append("    apply {")
-    for stmt in pre_apply or []:
-        lines.append(f"        {stmt}")
-    for module in modules:
-        for call in module.apply_calls:
-            lines.append(f"        {call}")
-    for stmt in post_apply or []:
-        lines.append(f"        {stmt}")
-    lines.append("    }")
-    lines.append("}")
-    lines.append("")
-
-    if utility is None and utility_weights:
-        terms = []
-        for module in modules:
-            weight = utility_weights.get(module.name)
-            if weight is None or not module.utility_term:
-                continue
-            terms.append(f"{weight} * ({module.utility_term})")
-        utility = " + ".join(terms) if terms else None
-    if utility:
-        lines.append(f"optimize {utility};")
-        lines.append("")
-    return "\n".join(lines)
+    linked = link_p4all_modules(
+        modules,
+        extra_metadata=extra_metadata,
+        utility=utility,
+        utility_weights=utility_weights,
+        extra_assumes=extra_assumes,
+        extra_declarations=extra_declarations,
+        pre_apply=pre_apply,
+        post_apply=post_apply,
+        consts=consts,
+    )
+    return linked.source

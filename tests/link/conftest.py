@@ -1,0 +1,98 @@
+"""Fixtures for the module-linker tests.
+
+The linker's acceptance bar is *bit-for-bit* equality with the legacy
+string splice, so the fixtures build the same NetCache module pair both
+ways on the runtime scenario's target (6 stages, 64 KB/stage — the
+smallest target the pair is known to fit).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.pisa.resources import tofino
+
+#: Two standalone modules that link cleanly: disjoint names, one shared
+#: metadata field (``flow_id``), independent utilities.
+COUNTER_SOURCE = """\
+symbolic int ctr_rows;
+assume ctr_rows >= 1 && ctr_rows <= 2;
+
+struct metadata {
+    bit<32> flow_id;
+    bit<32>[ctr_rows] ctr_val;
+}
+
+register<bit<32>>[1024][ctr_rows] ctr_reg;
+
+action ctr_bump()[int i] {
+    ctr_reg[i].add_read(meta.ctr_val[i], hash(i, meta.flow_id), 1);
+}
+
+control Ingress(inout metadata meta) {
+    apply {
+        for (i < ctr_rows) { ctr_bump()[i]; }
+    }
+}
+
+optimize(ctr_rows * 1024);
+"""
+
+MARKER_SOURCE = """\
+symbolic int mark_slots;
+assume mark_slots >= 256 && mark_slots <= 4096;
+
+struct metadata {
+    bit<32> flow_id;
+    bit<1> mark_seen;
+}
+
+register<bit<1>>[mark_slots][1] mark_reg;
+
+action mark_set() {
+    mark_reg[0].swap(meta.mark_seen, hash(7, meta.flow_id), 1);
+}
+
+control Ingress(inout metadata meta) {
+    apply {
+        mark_set();
+    }
+}
+
+optimize(mark_slots);
+"""
+
+#: A module that reaches into ``ctr_reg`` — the isolation violation.
+SPY_SOURCE = """\
+symbolic int spy_rows;
+assume spy_rows >= 1 && spy_rows <= 2;
+
+struct metadata {
+    bit<32> flow_id;
+    bit<32> spy_val;
+}
+
+register<bit<32>>[128][spy_rows] spy_reg;
+
+action spy_read()[int i] {
+    ctr_reg[0].read(meta.spy_val, 0);
+}
+
+control Ingress(inout metadata meta) {
+    apply {
+        for (i < spy_rows) { spy_read()[i]; }
+    }
+}
+
+optimize(spy_rows);
+"""
+
+
+@pytest.fixture(scope="session")
+def runtime_target():
+    """The elastic-runtime scenario target: 6 stages, 64 KB/stage."""
+    return dataclasses.replace(
+        tofino(), stages=6, memory_bits_per_stage=64 * 1024
+    )

@@ -1,0 +1,118 @@
+"""Per-module resource attribution: stage/memory/ALU accounting, the
+utility breakdown, and the runtime planner's telemetry export."""
+
+import pytest
+
+from repro.apps.netcache import netcache_linked
+from repro.core import (
+    compile_linked,
+    compile_linked_greedy,
+    compile_source,
+    module_attribution,
+    module_report,
+)
+
+
+@pytest.fixture(scope="module")
+def compiled_pair(runtime_target):
+    return compile_linked(netcache_linked(with_routing=False),
+                          runtime_target)
+
+
+class TestModuleAttribution:
+    def test_every_module_attributed(self, compiled_pair):
+        attribution = module_attribution(compiled_pair)
+        assert {"kv", "cms"} <= set(attribution)
+        for a in attribution.values():
+            assert a.units > 0
+            assert a.stages
+
+    def test_memory_partitions_total(self, compiled_pair):
+        attribution = module_attribution(compiled_pair)
+        total = sum(a.memory_bits for a in attribution.values())
+        assert total == compiled_pair.total_register_bits()
+
+    def test_utility_shares_partition_objective(self, compiled_pair):
+        attribution = module_attribution(compiled_pair)
+        shares = [a.utility_share for a in attribution.values()
+                  if a.utility_share is not None]
+        assert shares
+        assert sum(shares) == pytest.approx(1.0)
+        total_utility = sum(a.utility for a in attribution.values()
+                            if a.utility is not None)
+        assert total_utility == pytest.approx(
+            compiled_pair.solution.objective
+        )
+
+    def test_symbols_scoped_to_owner(self, compiled_pair):
+        attribution = module_attribution(compiled_pair)
+        assert set(attribution["cms"].symbols) == {"cms_rows", "cms_cols"}
+        assert set(attribution["kv"].symbols) == {"kv_rows", "kv_cols"}
+
+    def test_to_dict_schema(self, compiled_pair):
+        a = next(iter(module_attribution(compiled_pair).values()))
+        d = a.to_dict()
+        for key in ("units", "stages", "memory_bits",
+                    "register_cells", "stateful_alus", "stateless_alus",
+                    "hash_ops", "symbols", "utility", "utility_share"):
+            assert key in d
+
+    def test_plain_source_has_no_attribution(self, runtime_target):
+        from repro.apps.netcache import netcache_source
+
+        compiled = compile_source(
+            netcache_source(with_routing=False), runtime_target,
+            source_name="netcache",
+        )
+        assert compiled.namespace is None
+        assert module_attribution(compiled) == {}
+
+    def test_report_renders_all_modules(self, compiled_pair):
+        text = module_report(compiled_pair)
+        assert "kv" in text and "cms" in text
+        assert "%" in text  # utility shares rendered
+
+    def test_greedy_backend_attributes_too(self, runtime_target):
+        compiled = compile_linked_greedy(
+            netcache_linked(with_routing=False), runtime_target
+        )
+        attribution = module_attribution(compiled)
+        assert {"kv", "cms"} <= set(attribution)
+        total = sum(a.memory_bits for a in attribution.values())
+        assert total == compiled.total_register_bits()
+
+
+class TestPlannerTelemetry:
+    def test_plan_exports_attribution(self, runtime_target):
+        from repro.runtime.planner import ReconfigPlanner
+        from repro.runtime.telemetry import TelemetryBus
+
+        bus = TelemetryBus()
+        planner = ReconfigPlanner(telemetry=bus)
+        result = planner.plan(netcache_linked(with_routing=False),
+                              runtime_target, cause="test")
+        assert {"kv", "cms"} <= set(result.module_attribution)
+        events = bus.events_of("module_attribution")
+        assert events, "planner must emit the module_attribution event"
+
+    def test_plan_on_string_source_has_no_attribution(self, runtime_target):
+        from repro.apps.netcache import netcache_source
+        from repro.runtime.planner import ReconfigPlanner
+
+        planner = ReconfigPlanner()
+        result = planner.plan(netcache_source(with_routing=False),
+                              runtime_target, cause="test")
+        assert result.module_attribution == {}
+
+    def test_reweight_cycle(self, runtime_target):
+        from repro.runtime.planner import ReconfigPlanner
+
+        planner = ReconfigPlanner()
+        linked = netcache_linked(with_routing=False,
+                                 cache=planner.cache)
+        planner.plan(linked, runtime_target, cause="initial")
+        relinked, result = planner.reweight(
+            linked, {"kv": 10.0, "cms": 1.0}, runtime_target
+        )
+        assert relinked.fingerprint != linked.fingerprint
+        assert {"kv", "cms"} <= set(result.module_attribution)

@@ -1,0 +1,87 @@
+"""CLI: ``p4all compile a.p4all b.p4all --weights ...`` — the linked
+multi-program compile, its per-module report, and its diagnostics."""
+
+import pytest
+
+from repro.cli import main
+
+from .conftest import COUNTER_SOURCE, MARKER_SOURCE, SPY_SOURCE
+
+TARGET_FLAGS = ["--stages", "6", "--memory", "65536"]
+
+
+@pytest.fixture()
+def sources(tmp_path):
+    ctr = tmp_path / "ctr.p4all"
+    ctr.write_text(COUNTER_SOURCE)
+    mark = tmp_path / "mark.p4all"
+    mark.write_text(MARKER_SOURCE)
+    return ctr, mark
+
+
+class TestLinkedCompile:
+    def test_joint_layout_with_weights(self, sources, tmp_path, capsys):
+        ctr, mark = sources
+        out = tmp_path / "out.p4"
+        rc = main(["compile", str(ctr), str(mark),
+                   "--weights", "ctr=1,mark=2",
+                   "-o", str(out), *TARGET_FLAGS])
+        assert rc == 0
+        _, err = capsys.readouterr()
+        # The per-module attribution report lands on stderr.
+        assert "Per-module attribution" in err
+        assert "ctr" in err and "mark" in err
+        # The joint program was emitted with both modules' registers.
+        p4 = out.read_text()
+        assert "ctr_reg" in p4 and "mark_reg" in p4
+
+    def test_floors_accepted(self, sources, capsys):
+        ctr, mark = sources
+        rc = main(["compile", str(ctr), str(mark),
+                   "--weights", "ctr=1,mark=1",
+                   "--floors", "ctr=2048", *TARGET_FLAGS])
+        assert rc == 0
+
+    def test_single_file_stays_single(self, sources, capsys):
+        ctr, _ = sources
+        rc = main(["compile", str(ctr), *TARGET_FLAGS])
+        assert rc == 0
+        _, err = capsys.readouterr()
+        # No linking: no per-module attribution block.
+        assert "Per-module attribution" not in err
+
+    def test_weights_promote_single_file_to_linked(self, sources, capsys):
+        ctr, _ = sources
+        rc = main(["compile", str(ctr), "--weights", "ctr=3",
+                   *TARGET_FLAGS])
+        assert rc == 0
+        _, err = capsys.readouterr()
+        assert "Per-module attribution" in err
+
+
+class TestLinkedCompileErrors:
+    def test_malformed_weights(self, sources, capsys):
+        ctr, mark = sources
+        rc = main(["compile", str(ctr), str(mark), "--weights", "ctr-2"])
+        assert rc == 1
+        _, err = capsys.readouterr()
+        assert "malformed --weights" in err
+
+    def test_unknown_weight_module(self, sources, capsys):
+        ctr, mark = sources
+        rc = main(["compile", str(ctr), str(mark),
+                   "--weights", "ghost=1"])
+        assert rc == 1
+        _, err = capsys.readouterr()
+        assert "unknown module" in err
+
+    def test_cross_module_register_access_rejected(self, tmp_path, capsys):
+        ctr = tmp_path / "ctr.p4all"
+        ctr.write_text(COUNTER_SOURCE)
+        spy = tmp_path / "spy.p4all"
+        spy.write_text(SPY_SOURCE)
+        rc = main(["compile", str(ctr), str(spy), *TARGET_FLAGS])
+        assert rc == 1
+        _, err = capsys.readouterr()
+        assert "isolation violation" in err
+        assert "ctr_reg" in err and "spy" in err

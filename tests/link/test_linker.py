@@ -1,0 +1,197 @@
+"""Module-linker semantics: IR extraction, namespacing, collisions,
+metadata unification, isolation, weights, and floors."""
+
+import pytest
+
+from repro.core import UtilityError, compile_linked
+from repro.link import (
+    APP_MODULE,
+    IsolationError,
+    LinkError,
+    build_module_ir,
+    link_files,
+    link_p4all_modules,
+    module_ir_from_source,
+)
+from repro.structures import cms_module
+
+from .conftest import COUNTER_SOURCE, MARKER_SOURCE, SPY_SOURCE
+
+
+class TestModuleIR:
+    def test_standalone_extraction(self):
+        ir = build_module_ir("ctr", COUNTER_SOURCE, entry="Ingress")
+        assert ir.name == "ctr"
+        assert ir.symbolics == ["ctr_rows"]
+        assert ir.registers == ["ctr_reg"]
+        assert "ctr_bump" in ir.actions
+        # The entry control is inlined, not kept as a module control.
+        assert "Ingress" not in ir.controls
+        assert ir.apply_stmts, "entry apply statements must be captured"
+        assert ir.utility is not None
+
+    def test_owned_names_exclude_shared_fields(self):
+        ir = build_module_ir("ctr", COUNTER_SOURCE, entry="Ingress")
+        owned = ir.owned_names()
+        assert "ctr_rows" in owned and "ctr_reg" in owned
+        # Metadata fields are sharable across modules, never "owned"
+        # for collision purposes.
+        assert "flow_id" not in owned
+
+    def test_library_module_roundtrip(self):
+        module = cms_module(prefix="c", key_field="meta.flow_id",
+                            max_cols=4096)
+        from repro.link import module_ir
+
+        ir = module_ir(module)
+        assert set(ir.symbolics) == set(module.symbolics)
+        assert ir.utility is not None
+
+    def test_parse_error_becomes_link_error(self):
+        with pytest.raises(LinkError):
+            module_ir_from_source("bad", "symbolic int ;")
+
+
+class TestNamespace:
+    def test_ownership_recorded(self):
+        linked = link_files([("ctr", COUNTER_SOURCE),
+                             ("mark", MARKER_SOURCE)])
+        ns = linked.namespace
+        assert ns.modules == ["ctr", "mark"]
+        assert ns.symbolics["ctr_rows"] == "ctr"
+        assert ns.symbolics["mark_slots"] == "mark"
+        assert ns.registers["ctr_reg"] == "ctr"
+        assert ns.registers["mark_reg"] == "mark"
+        assert ns.actions["ctr_bump"] == "ctr"
+        # The shared metadata field is owned by its first declarer.
+        assert ns.fields["flow_id"] == "ctr"
+
+    def test_glue_owned_by_app(self):
+        linked = link_p4all_modules(
+            [cms_module(prefix="a", key_field="meta.flow_id")],
+            extra_metadata=["bit<32> flow_id;"],
+            utility="a_rows * a_cols",
+        )
+        assert linked.namespace.fields["flow_id"] == APP_MODULE
+
+
+class TestCollisions:
+    CLASH_A = """\
+symbolic int rows;
+assume rows >= 1 && rows <= 2;
+struct metadata { bit<32> flow_id; bit<32>[rows] a_val; }
+register<bit<32>>[512][rows] a_reg;
+action bump()[int i] {
+    a_reg[i].add_read(meta.a_val[i], hash(i, meta.flow_id), 1);
+}
+control Ingress(inout metadata meta) {
+    apply { for (i < rows) { bump()[i]; } }
+}
+optimize(rows * 512);
+"""
+
+    CLASH_B = """\
+symbolic int rows;
+assume rows >= 1 && rows <= 2;
+struct metadata { bit<32> flow_id; bit<32>[rows] b_val; }
+register<bit<32>>[256][rows] b_reg;
+action bump()[int i] {
+    b_reg[i].add_read(meta.b_val[i], hash(i + 9, meta.flow_id), 1);
+}
+control Ingress(inout metadata meta) {
+    apply { for (i < rows) { bump()[i]; } }
+}
+optimize(rows * 256);
+"""
+
+    def test_colliding_names_prefix_rewritten(self):
+        linked = link_files([("alpha", self.CLASH_A),
+                             ("beta", self.CLASH_B)])
+        ns = linked.namespace
+        # First module keeps its names; the later one is rewritten.
+        assert ns.symbolics["rows"] == "alpha"
+        assert ns.symbolics["beta_rows"] == "beta"
+        assert ns.actions["bump"] == "alpha"
+        assert ns.actions["beta_bump"] == "beta"
+        assert "beta_rows" in linked.source
+        # The rewritten program still names both utility terms.
+        assert [m for m, _, _ in linked.utility_terms] == ["alpha", "beta"]
+
+    def test_renamed_program_compiles(self, runtime_target):
+        linked = link_files([("alpha", self.CLASH_A),
+                             ("beta", self.CLASH_B)])
+        compiled = compile_linked(linked, runtime_target)
+        assert "rows" in compiled.symbol_values
+        assert "beta_rows" in compiled.symbol_values
+
+
+class TestMetadataMerge:
+    def test_identical_fields_unify(self):
+        linked = link_files([("ctr", COUNTER_SOURCE),
+                             ("mark", MARKER_SOURCE)])
+        # Both modules declare bit<32> flow_id; the merged struct holds
+        # exactly one copy.
+        assert linked.source.count("bit<32> flow_id;") == 1
+
+    def test_conflicting_fields_rejected(self):
+        conflicting = MARKER_SOURCE.replace(
+            "bit<32> flow_id;", "bit<16> flow_id;"
+        )
+        with pytest.raises(LinkError, match="flow_id"):
+            link_files([("ctr", COUNTER_SOURCE), ("mark", conflicting)])
+
+
+class TestIsolation:
+    def test_cross_module_register_access_rejected(self):
+        with pytest.raises(IsolationError) as exc:
+            link_files([("ctr", COUNTER_SOURCE), ("spy", SPY_SOURCE)])
+        message = str(exc.value)
+        assert "spy" in message and "ctr_reg" in message and "ctr" in message
+
+    def test_downgrade_to_diagnostics(self):
+        linked = link_files(
+            [("ctr", COUNTER_SOURCE), ("spy", SPY_SOURCE)],
+            allow_cross_module_state=True,
+        )
+        assert linked.diagnostics
+        assert any("ctr_reg" in d for d in linked.diagnostics)
+
+
+class TestWeightsAndFloors:
+    def test_unknown_weight_module_rejected(self):
+        with pytest.raises(LinkError, match="unknown module"):
+            link_files([("ctr", COUNTER_SOURCE), ("mark", MARKER_SOURCE)],
+                       weights={"nope": 1.0})
+
+    def test_weights_scale_objective_terms(self, runtime_target):
+        linked = link_files(
+            [("ctr", COUNTER_SOURCE), ("mark", MARKER_SOURCE)],
+            weights={"ctr": 1.0, "mark": 2.0},
+        )
+        compiled = compile_linked(linked, runtime_target)
+        breakdown = compiled.solution.utility_breakdown
+        assert set(breakdown) == {"ctr", "mark"}
+        # mark's term is weight * mark_slots.
+        assert breakdown["mark"] == pytest.approx(
+            2.0 * compiled.symbol_values["mark_slots"]
+        )
+        assert sum(breakdown.values()) == pytest.approx(
+            compiled.solution.objective
+        )
+
+    def test_floor_enforced(self, runtime_target):
+        linked = link_files(
+            [("ctr", COUNTER_SOURCE), ("mark", MARKER_SOURCE)],
+            weights={"ctr": 1.0, "mark": 1.0},
+            floors={"ctr": 2048.0},
+        )
+        compiled = compile_linked(linked, runtime_target)
+        assert compiled.solution.utility_breakdown["ctr"] >= 2048.0 - 1e-6
+
+    def test_floor_for_unknown_module_rejected(self, runtime_target):
+        with pytest.raises((LinkError, UtilityError)):
+            linked = link_files(
+                [("ctr", COUNTER_SOURCE), ("mark", MARKER_SOURCE)],
+                floors={"ghost": 10.0},
+            )
+            compile_linked(linked, runtime_target)

@@ -52,12 +52,67 @@ class TestDictConversion:
         target = tofino()
         assert target_from_dict(target_to_dict(target)) == target
 
+    def test_every_required_field_enforced(self):
+        for field in ("name", "stages", "memory_bits_per_stage",
+                      "stateful_alus_per_stage", "stateless_alus_per_stage",
+                      "phv_bits"):
+            spec = minimal_spec()
+            del spec[field]
+            with pytest.raises(ValueError, match=f"missing fields: {field}"):
+                target_from_dict(spec)
+
+    def test_multiple_missing_fields_all_named(self):
+        spec = minimal_spec()
+        del spec["stages"]
+        del spec["phv_bits"]
+        with pytest.raises(ValueError, match="stages, phv_bits"):
+            target_from_dict(spec)
+
 
 class TestFileIO:
     def test_save_and_load(self, tmp_path):
         path = tmp_path / "spec.json"
         save_target(tofino(), path)
         assert load_target(path) == tofino()
+
+    def test_round_trip_all_optional_fields(self, tmp_path):
+        """Every ``_OPTIONAL`` field survives save → load at a
+        non-default value."""
+        spec = minimal_spec(
+            hash_units_per_stage=3,
+            stateful_weight=2.5,
+            stateless_weight=0.75,
+            hash_weight=1.5,
+            notes="lab switch rev B",
+        )
+        target = target_from_dict(spec)
+        path = tmp_path / "full.json"
+        save_target(target, path)
+        loaded = load_target(path)
+        assert loaded == target
+        assert loaded.hash_units_per_stage == 3
+        assert loaded.stateful_weight == 2.5
+        assert loaded.stateless_weight == 0.75
+        assert loaded.hash_weight == 1.5
+        assert loaded.notes == "lab switch rev B"
+        # The serialized form carries exactly the dataclass fields.
+        data = json.loads(path.read_text())
+        assert data == target_to_dict(target)
+
+    def test_load_rejects_missing_field(self, tmp_path):
+        spec = minimal_spec()
+        del spec["memory_bits_per_stage"]
+        path = tmp_path / "missing.json"
+        path.write_text(json.dumps(spec))
+        with pytest.raises(ValueError,
+                           match="missing fields: memory_bits_per_stage"):
+            load_target(path)
+
+    def test_load_rejects_unknown_field(self, tmp_path):
+        path = tmp_path / "unknown.json"
+        path.write_text(json.dumps(minimal_spec(sram_blocks=96)))
+        with pytest.raises(ValueError, match="unknown fields: sram_blocks"):
+            load_target(path)
 
     def test_non_object_rejected(self, tmp_path):
         path = tmp_path / "bad.json"
