@@ -10,6 +10,14 @@ Subcommands::
     p4all run     [--packets N] [--cut-at N] [--engine E] [--profile]
     p4all targets                                # list target specs
     p4all library [name]                         # dump library module source
+    p4all obs trace.json [--metrics out.prom]    # summarize observability
+                                                 # artifacts
+
+``compile`` and ``run`` accept ``--trace PATH`` (Chrome trace-event
+JSON of the command's span timeline — load it in Perfetto or
+``chrome://tracing``) and ``--metrics PATH`` (Prometheus textfile of
+the accumulated counters/gauges/histograms). ``p4all obs`` renders
+either artifact as a terminal summary. See docs/OBSERVABILITY.md.
 
 Every program-compiling subcommand accepts the same solver flags:
 ``--backend`` (``auto``/``scipy``/``bb``/``greedy``) and
@@ -115,7 +123,43 @@ def _parse_name_values(spec: str, flag: str) -> dict[str, float]:
     return values
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the compile and run subcommands."""
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="record this command as Chrome trace-event JSON at PATH "
+             "(open in Perfetto or chrome://tracing; summarize with "
+             "'p4all obs PATH')",
+    )
+    parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the accumulated metrics as a Prometheus textfile "
+             "to PATH",
+    )
+
+
+def _with_obs(args, body) -> int:
+    """Run a command body under the observability exporter.
+
+    The artifacts are written even when ``body`` raises, so a failed
+    compile still leaves its partial timeline behind for diagnosis.
+    """
+    from .obs import observed
+
+    with observed(getattr(args, "trace", None), getattr(args, "metrics", None)):
+        result = body(args)
+    if getattr(args, "trace", None):
+        print(f"wrote trace to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics", None):
+        print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    return result
+
+
 def _cmd_compile(args) -> int:
+    return _with_obs(args, _compile_body)
+
+
+def _compile_body(args) -> int:
     from .profiling import profiled
 
     target = _resolve_target(args)
@@ -187,6 +231,10 @@ def _cmd_graph(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    return _with_obs(args, _run_body)
+
+
+def _run_body(args) -> int:
     import dataclasses
     import json
 
@@ -237,12 +285,30 @@ def _cmd_run(args) -> int:
     if args.profile:
         print(f"wrote profile to {args.profile}", file=sys.stderr)
     print(report.format())
+    telemetry.close()
     fallbacks = telemetry.events_of("ilp_fallback")
     if fallbacks:
         print(f"  ILP->greedy fallbacks: {len(fallbacks)}")
     if args.json:
         Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
         print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def _cmd_obs(args) -> int:
+    from .obs.summary import summarize_prometheus_file, summarize_trace_file
+
+    if args.trace_file is None and args.metrics_file is None:
+        print("error: nothing to summarize — give a trace file and/or "
+              "--metrics FILE", file=sys.stderr)
+        return 2
+    if args.trace_file is not None:
+        print(summarize_trace_file(args.trace_file, tree_depth=args.depth,
+                                   top=args.top))
+    if args.metrics_file is not None:
+        if args.trace_file is not None:
+            print()
+        print(summarize_prometheus_file(args.metrics_file))
     return 0
 
 
@@ -310,6 +376,7 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(default: p4all_compile_profile.txt)")
     _add_target_arg(p_compile)
     _add_solver_args(p_compile)
+    _add_obs_args(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
 
     p_bounds = sub.add_parser("bounds", help="show loop-unrolling upper bounds")
@@ -389,7 +456,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "(default: p4all_run_profile.txt)")
     _add_target_arg(p_run)
     _add_solver_args(p_run)
+    _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="summarize observability artifacts: a --trace Chrome trace "
+             "JSON (span tree + per-span aggregates) and/or a --metrics "
+             "Prometheus textfile",
+    )
+    p_obs.add_argument("trace_file", nargs="?", default=None,
+                       help="Chrome trace-event JSON produced by --trace")
+    p_obs.add_argument("--metrics", dest="metrics_file", default=None,
+                       metavar="FILE",
+                       help="Prometheus textfile produced by --metrics")
+    p_obs.add_argument("--depth", type=int, default=6,
+                       help="max depth of the rendered span tree (default: 6)")
+    p_obs.add_argument("--top", type=int, default=20,
+                       help="rows in the per-span aggregate table "
+                            "(default: 20)")
+    p_obs.set_defaults(func=_cmd_obs)
 
     p_targets = sub.add_parser("targets", help="list known target specifications")
     p_targets.set_defaults(func=_cmd_targets)
@@ -407,6 +493,8 @@ def main(argv: list[str] | None = None) -> int:
     except (P4AllError, CompileError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:  # e.g. `p4all obs trace.json | head`
+        return 0
 
 
 if __name__ == "__main__":

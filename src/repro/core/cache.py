@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any
 from ..analysis import build_ir, compute_upper_bounds
 from ..analysis.unroll import UnrollBounds, UnrollOptions
 from ..lang import check_program, parse_program
+from ..obs import metrics as obs_metrics
 from ..pisa.resources import TargetSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -53,6 +54,17 @@ __all__ = ["CompileCache", "CacheStats", "source_fingerprint"]
 def source_fingerprint(source: str) -> str:
     """Stable content hash of a program's source text."""
     return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _count_request(tier: str, hit: bool) -> None:
+    """Mirror one cache lookup onto the global metrics registry (the
+    per-instance :class:`CacheStats` counters stay authoritative for
+    telemetry; this feeds the Prometheus export)."""
+    obs_metrics.counter(
+        "p4all_cache_requests_total",
+        help="CompileCache lookups, by tier and outcome.",
+        labels=("tier", "outcome"),
+    ).inc(tier=tier, outcome="hit" if hit else "miss")
 
 
 @dataclass
@@ -140,8 +152,10 @@ class CompileCache:
             cached = self._frontend.get(key)
         if cached is not None:
             self.stats.frontend_hits += 1
+            _count_request("frontend", True)
             return cached.program, cached.info, cached.ir, True
         self.stats.frontend_misses += 1
+        _count_request("frontend", False)
         program = parse_program(source, source_name)
         info = check_program(program)
         ir = build_ir(info, entry)
@@ -162,8 +176,10 @@ class CompileCache:
             cached = self._modules.get(key)
         if cached is not None:
             self.stats.module_hits += 1
+            _count_request("module", True)
             return cached, True
         self.stats.module_misses += 1
+        _count_request("module", False)
         value = build()
         with self._lock:
             self._modules[key] = value
@@ -182,8 +198,10 @@ class CompileCache:
             cached = self._frontend.get(key)
         if cached is not None:
             self.stats.frontend_hits += 1
+            _count_request("frontend", True)
             return cached.program, cached.info, cached.ir, True
         self.stats.frontend_misses += 1
+        _count_request("frontend", False)
         program = linked.program
         info = check_program(program)
         info.namespace = linked.namespace
@@ -207,8 +225,10 @@ class CompileCache:
             cached = self._bounds.get(key)
         if cached is not None:
             self.stats.bounds_hits += 1
+            _count_request("bounds", True)
             return cached, True
         self.stats.bounds_misses += 1
+        _count_request("bounds", False)
         computed = compute_upper_bounds(ir, target, options)
         with self._lock:
             self._bounds[key] = computed
@@ -238,8 +258,10 @@ class CompileCache:
                 self._layouts.move_to_end(key)
         if compiled is None:
             self.stats.layout_misses += 1
+            _count_request("layout", False)
             return None
         self.stats.layout_hits += 1
+        _count_request("layout", True)
         return compiled
 
     def put_layout(self, source: str, target: TargetSpec,
@@ -253,6 +275,10 @@ class CompileCache:
             while len(self._layouts) > self.max_layouts:
                 self._layouts.popitem(last=False)
                 self.stats.evictions += 1
+                obs_metrics.counter(
+                    "p4all_cache_evictions_total",
+                    help="Layout-tier LRU evictions.",
+                ).inc()
 
     # -- invalidation --------------------------------------------------------------
     def invalidate(self, source: str | None = None) -> int:
@@ -280,6 +306,10 @@ class CompileCache:
                     removed += len(stale)
         if removed:
             self.stats.invalidations += 1
+            obs_metrics.counter(
+                "p4all_cache_invalidations_total",
+                help="Explicit CompileCache invalidations that removed entries.",
+            ).inc()
         return removed
 
     def clear(self) -> int:

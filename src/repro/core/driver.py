@@ -32,6 +32,8 @@ from ..analysis.unroll import UnrollOptions
 from ..lang import check_program, parse_program
 from ..lang.symbols import eval_static
 from ..ilp import SolveStatus
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..pisa.resources import TargetSpec
 from .cache import CompileCache
 from .codegen import generate_p4
@@ -110,28 +112,39 @@ def _run_frontend(source, target, options, source_name, stats):
     cache = options.cache
     if cache is not None:
         t0 = time.perf_counter()
-        program, info, ir, hit = cache.frontend(source, options.entry, source_name)
+        with trace.span("compile.frontend", source=source_name) as span:
+            program, info, ir, hit = cache.frontend(
+                source, options.entry, source_name
+            )
+            span.set_attr("cached", hit)
         stats.frontend_cached = hit
         stats.parse_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        bounds, bhit = cache.bounds(source, options.entry, ir, target, options.unroll)
+        with trace.span("compile.bounds") as span:
+            bounds, bhit = cache.bounds(
+                source, options.entry, ir, target, options.unroll
+            )
+            span.set_attr("cached", bhit)
         stats.bounds_cached = bhit
         stats.bounds_seconds = time.perf_counter() - t0
         stats.analysis_seconds = stats.bounds_seconds
         return program, info, ir, bounds
 
     t0 = time.perf_counter()
-    program = parse_program(source, source_name)
-    info = check_program(program)
+    with trace.span("compile.parse", source=source_name):
+        program = parse_program(source, source_name)
+        info = check_program(program)
     stats.parse_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    ir = build_ir(info, options.entry)
+    with trace.span("compile.ir"):
+        ir = build_ir(info, options.entry)
     stats.ir_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    bounds = compute_upper_bounds(ir, target, options.unroll)
+    with trace.span("compile.bounds"):
+        bounds = compute_upper_bounds(ir, target, options.unroll)
     stats.bounds_seconds = time.perf_counter() - t0
     stats.analysis_seconds = stats.ir_seconds + stats.bounds_seconds
     return program, info, ir, bounds
@@ -148,46 +161,73 @@ def _assemble(
     stats = compiled.stats
 
     t0 = time.perf_counter()
-    # Placed units: active instances with a stage, in (stage, order) order.
-    for inst in instances:
-        stage = solution.instance_stage.get(inst.uid)
-        if stage is None:
-            continue
-        if inst.symbolic is not None and not solution.iteration_active.get(
-            (inst.symbolic, inst.iteration), False
+    with trace.span("compile.codegen"):
+        # Placed units: active instances with a stage, in (stage, order)
+        # order.
+        for inst in instances:
+            stage = solution.instance_stage.get(inst.uid)
+            if stage is None:
+                continue
+            if inst.symbolic is not None and not solution.iteration_active.get(
+                (inst.symbolic, inst.iteration), False
+            ):
+                continue
+            compiled.units.append(PlacedUnit(instance=inst, stage=stage))
+        compiled.units.sort(key=lambda u: (u.stage, u.instance.source_order))
+
+        for (family, index), (stage, cells) in sorted(
+            solution.register_alloc.items()
         ):
-            continue
-        compiled.units.append(PlacedUnit(instance=inst, stage=stage))
-    compiled.units.sort(key=lambda u: (u.stage, u.instance.source_order))
+            width = info.registers[family].cell_bits
+            compiled.registers.append(
+                RegisterAlloc(family=family, index=index, stage=stage,
+                              cells=cells, width=width)
+            )
 
-    for (family, index), (stage, cells) in sorted(solution.register_alloc.items()):
-        width = info.registers[family].cell_bits
-        compiled.registers.append(
-            RegisterAlloc(family=family, index=index, stage=stage,
-                          cells=cells, width=width)
-        )
-
-    compiled.p4_source = generate_p4(compiled)
+        compiled.p4_source = generate_p4(compiled)
     stats.codegen_seconds = time.perf_counter() - t0
 
     if options.verify:
         from ..analysis.bounds_check import check_index_bounds
         from .validate import validate_layout
 
-        # §7 verification: every elastic-array index provably in bounds
-        # at the chosen symbolic values.
-        check_index_bounds(
-            compiled.ir,
-            {sym: compiled.symbol_values.get(sym, 1)
-             for sym in compiled.bounds.as_counts()},
-        )
+        with trace.span("compile.validate"):
+            # §7 verification: every elastic-array index provably in
+            # bounds at the chosen symbolic values.
+            check_index_bounds(
+                compiled.ir,
+                {sym: compiled.symbol_values.get(sym, 1)
+                 for sym in compiled.bounds.as_counts()},
+            )
 
-        validate_layout(
-            compiled,
-            hash_unit_limits=options.layout.hash_unit_limits,
-            table_memory=options.layout.table_memory,
-        )
+            validate_layout(
+                compiled,
+                hash_unit_limits=options.layout.hash_unit_limits,
+                table_memory=options.layout.table_memory,
+            )
     return compiled
+
+
+def _record_compile_metrics(stats: CompileStats, backend: str) -> None:
+    """Per-compile counters and phase-latency histograms."""
+    obs_metrics.counter(
+        "p4all_compiles_total",
+        help="Completed compiles, by layout backend and layout-cache outcome.",
+        labels=("backend", "cached"),
+    ).inc(backend=backend, cached=str(stats.layout_cached).lower())
+    if stats.layout_cached:
+        return
+    phases = obs_metrics.histogram(
+        "p4all_compile_phase_seconds",
+        help="Wall time per compiler phase (Figure 8 pipeline).",
+        labels=("phase",),
+    )
+    phases.observe(stats.parse_seconds, phase="parse")
+    phases.observe(stats.ir_seconds, phase="ir")
+    phases.observe(stats.bounds_seconds, phase="bounds")
+    phases.observe(stats.ilp_build_seconds, phase="ilp_build")
+    phases.observe(stats.ilp_solve_seconds, phase="ilp_solve")
+    phases.observe(stats.codegen_seconds, phase="codegen")
 
 
 def compile_source(
@@ -200,55 +240,76 @@ def compile_source(
     options = options or CompileOptions()
     if options.backend == "greedy":
         return compile_source_greedy(source, target, options, source_name)
-    cache = options.cache
-    if cache is not None:
-        cached = cache.get_layout(source, target, options)
-        if cached is not None:
-            # Share the artifact, but stamp a fresh stats record so the
-            # caller can see this compile was served from cache (the
-            # original's phase timings are preserved for reference).
-            return dataclasses.replace(
-                cached,
-                stats=dataclasses.replace(cached.stats, layout_cached=True),
-            )
-    stats = CompileStats()
-    program, info, ir, bounds = _run_frontend(
-        source, target, options, source_name, stats
-    )
-
-    t0 = time.perf_counter()
-    builder = LayoutBuilder(ir, bounds, target, options.layout)
-    lm = builder.build()
-    stats.ilp_build_seconds = time.perf_counter() - t0
-    stats.ilp_variables = lm.model.num_variables
-    stats.ilp_constraints = lm.model.num_constraints
-
-    optimize = program.optimize()
-    utility = optimize.utility if optimize is not None else None
-    solution = builder.solve(
-        utility=utility,
+    with trace.span(
+        "compile",
+        source=source_name,
+        target=target.name,
         backend=options.backend,
-        time_limit=options.time_limit,
-        warm_start=options.warm_start,
-    )
-    stats.ilp_solve_seconds = solution.solve_seconds
-    # Constraints may have been added during utility linearization.
-    stats.ilp_variables = lm.model.num_variables
-    stats.ilp_constraints = lm.model.num_constraints
+    ) as span:
+        cache = options.cache
+        if cache is not None:
+            cached = cache.get_layout(source, target, options)
+            if cached is not None:
+                # Share the artifact, but stamp a fresh stats record so
+                # the caller can see this compile was served from cache
+                # (the original's phase timings are preserved for
+                # reference).
+                span.set_attr("layout_cached", True)
+                cached = dataclasses.replace(
+                    cached,
+                    stats=dataclasses.replace(cached.stats,
+                                              layout_cached=True),
+                )
+                _record_compile_metrics(cached.stats, options.backend)
+                return cached
+        stats = CompileStats()
+        program, info, ir, bounds = _run_frontend(
+            source, target, options, source_name, stats
+        )
 
-    compiled = CompiledProgram(
-        source_name=source_name,
-        target=target,
-        info=info,
-        ir=ir,
-        bounds=bounds,
-        solution=solution,
-        stats=stats,
-    )
-    compiled = _assemble(compiled, lm.instances, solution, options)
-    if cache is not None:
-        cache.put_layout(source, target, options, compiled)
-    return compiled
+        t0 = time.perf_counter()
+        with trace.span("compile.ilp_build"):
+            builder = LayoutBuilder(ir, bounds, target, options.layout)
+            lm = builder.build()
+        stats.ilp_build_seconds = time.perf_counter() - t0
+        stats.ilp_variables = lm.model.num_variables
+        stats.ilp_constraints = lm.model.num_constraints
+
+        optimize = program.optimize()
+        utility = optimize.utility if optimize is not None else None
+        with trace.span("compile.ilp_solve",
+                        backend=options.backend) as solve_span:
+            solution = builder.solve(
+                utility=utility,
+                backend=options.backend,
+                time_limit=options.time_limit,
+                warm_start=options.warm_start,
+            )
+            solve_span.set_attrs(
+                status=solution.status.value,
+                nodes_explored=solution.nodes_explored,
+            )
+        stats.ilp_solve_seconds = solution.solve_seconds
+        # Constraints may have been added during utility linearization.
+        stats.ilp_variables = lm.model.num_variables
+        stats.ilp_constraints = lm.model.num_constraints
+
+        compiled = CompiledProgram(
+            source_name=source_name,
+            target=target,
+            info=info,
+            ir=ir,
+            bounds=bounds,
+            solution=solution,
+            stats=stats,
+        )
+        compiled = _assemble(compiled, lm.instances, solution, options)
+        if cache is not None:
+            cache.put_layout(source, target, options, compiled)
+        span.set_attrs(status=solution.status.value,
+                       symbols=dict(solution.symbol_values))
+        _record_compile_metrics(stats, options.backend)
+        return compiled
 
 
 def compile_source_greedy(
@@ -266,50 +327,62 @@ def compile_source_greedy(
     from .greedy import greedy_layout
 
     options = options or CompileOptions()
-    stats = CompileStats()
-    program, info, ir, bounds = _run_frontend(
-        source, target, options, source_name, stats
-    )
-
-    t0 = time.perf_counter()
-    result = greedy_layout(ir, bounds, target)
-    stats.ilp_solve_seconds = time.perf_counter() - t0
-
-    iteration_active = {
-        (inst.symbolic, inst.iteration): result.instance_stage[inst.uid] is not None
-        for inst in result.instances
-        if inst.symbolic is not None
-    }
-    optimize = program.optimize()
-    objective = 0.0
-    if optimize is not None:
-        env: dict[str, float] = dict(info.consts)
-        env.update(result.symbol_values)
-        objective = float(eval_static(optimize.utility, env))
-    solution = LayoutSolution(
-        status=SolveStatus.FEASIBLE,
-        objective=objective,
-        symbol_values=result.symbol_values,
-        node_stage={},
-        instance_stage=result.instance_stage,
-        register_alloc=result.register_alloc,
-        iteration_active=iteration_active,
-        solve_seconds=stats.ilp_solve_seconds,
+    with trace.span(
+        "compile",
+        source=source_name,
+        target=target.name,
         backend="greedy",
-        num_variables=0,
-        num_constraints=0,
-    )
+    ) as span:
+        stats = CompileStats()
+        program, info, ir, bounds = _run_frontend(
+            source, target, options, source_name, stats
+        )
 
-    compiled = CompiledProgram(
-        source_name=source_name,
-        target=target,
-        info=info,
-        ir=ir,
-        bounds=bounds,
-        solution=solution,
-        stats=stats,
-    )
-    return _assemble(compiled, result.instances, solution, options)
+        t0 = time.perf_counter()
+        with trace.span("compile.greedy_layout"):
+            result = greedy_layout(ir, bounds, target)
+        stats.ilp_solve_seconds = time.perf_counter() - t0
+
+        iteration_active = {
+            (inst.symbolic, inst.iteration):
+                result.instance_stage[inst.uid] is not None
+            for inst in result.instances
+            if inst.symbolic is not None
+        }
+        optimize = program.optimize()
+        objective = 0.0
+        if optimize is not None:
+            env: dict[str, float] = dict(info.consts)
+            env.update(result.symbol_values)
+            objective = float(eval_static(optimize.utility, env))
+        solution = LayoutSolution(
+            status=SolveStatus.FEASIBLE,
+            objective=objective,
+            symbol_values=result.symbol_values,
+            node_stage={},
+            instance_stage=result.instance_stage,
+            register_alloc=result.register_alloc,
+            iteration_active=iteration_active,
+            solve_seconds=stats.ilp_solve_seconds,
+            backend="greedy",
+            num_variables=0,
+            num_constraints=0,
+        )
+
+        compiled = CompiledProgram(
+            source_name=source_name,
+            target=target,
+            info=info,
+            ir=ir,
+            bounds=bounds,
+            solution=solution,
+            stats=stats,
+        )
+        compiled = _assemble(compiled, result.instances, solution, options)
+        span.set_attrs(status=solution.status.value,
+                       symbols=dict(solution.symbol_values))
+        _record_compile_metrics(stats, "greedy")
+        return compiled
 
 
 def compile_file(
@@ -343,32 +416,42 @@ def _run_frontend_linked(linked, target, options, stats):
     cache = options.cache
     if cache is not None:
         t0 = time.perf_counter()
-        program, info, ir, hit = cache.linked_frontend(linked, options.entry)
+        with trace.span("compile.frontend", source=linked.name,
+                        linked=True) as span:
+            program, info, ir, hit = cache.linked_frontend(
+                linked, options.entry
+            )
+            span.set_attr("cached", hit)
         stats.frontend_cached = hit
         stats.parse_seconds = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        bounds, bhit = cache.bounds(
-            _linked_pseudo_source(linked), options.entry, ir, target,
-            options.unroll,
-        )
+        with trace.span("compile.bounds") as span:
+            bounds, bhit = cache.bounds(
+                _linked_pseudo_source(linked), options.entry, ir, target,
+                options.unroll,
+            )
+            span.set_attr("cached", bhit)
         stats.bounds_cached = bhit
         stats.bounds_seconds = time.perf_counter() - t0
         stats.analysis_seconds = stats.bounds_seconds
         return program, info, ir, bounds
 
     t0 = time.perf_counter()
-    program = linked.program
-    info = check_program(program)
-    info.namespace = linked.namespace
+    with trace.span("compile.parse", source=linked.name, linked=True):
+        program = linked.program
+        info = check_program(program)
+        info.namespace = linked.namespace
     stats.parse_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    ir = build_ir(info, options.entry)
+    with trace.span("compile.ir"):
+        ir = build_ir(info, options.entry)
     stats.ir_seconds = time.perf_counter() - t0
 
     t0 = time.perf_counter()
-    bounds = compute_upper_bounds(ir, target, options.unroll)
+    with trace.span("compile.bounds"):
+        bounds = compute_upper_bounds(ir, target, options.unroll)
     stats.bounds_seconds = time.perf_counter() - t0
     stats.analysis_seconds = stats.ir_seconds + stats.bounds_seconds
     return program, info, ir, bounds
@@ -390,52 +473,73 @@ def compile_linked(
     options = options or CompileOptions()
     if options.backend == "greedy":
         return compile_linked_greedy(linked, target, options)
-    cache = options.cache
-    pseudo = _linked_pseudo_source(linked)
-    if cache is not None:
-        cached = cache.get_layout(pseudo, target, options)
-        if cached is not None:
-            return dataclasses.replace(
-                cached,
-                stats=dataclasses.replace(cached.stats, layout_cached=True),
-            )
-    stats = CompileStats()
-    program, info, ir, bounds = _run_frontend_linked(
-        linked, target, options, stats
-    )
-
-    t0 = time.perf_counter()
-    builder = LayoutBuilder(ir, bounds, target, options.layout)
-    lm = builder.build()
-    stats.ilp_build_seconds = time.perf_counter() - t0
-    stats.ilp_variables = lm.model.num_variables
-    stats.ilp_constraints = lm.model.num_constraints
-
-    solution = builder.solve(
-        utility=linked.utility,
+    with trace.span(
+        "compile",
+        source=linked.name,
+        target=target.name,
         backend=options.backend,
-        time_limit=options.time_limit,
-        warm_start=options.warm_start,
-        utility_terms=linked.utility_terms,
-        floors=linked.floors,
-    )
-    stats.ilp_solve_seconds = solution.solve_seconds
-    stats.ilp_variables = lm.model.num_variables
-    stats.ilp_constraints = lm.model.num_constraints
+        linked=True,
+    ) as span:
+        cache = options.cache
+        pseudo = _linked_pseudo_source(linked)
+        if cache is not None:
+            cached = cache.get_layout(pseudo, target, options)
+            if cached is not None:
+                span.set_attr("layout_cached", True)
+                cached = dataclasses.replace(
+                    cached,
+                    stats=dataclasses.replace(cached.stats,
+                                              layout_cached=True),
+                )
+                _record_compile_metrics(cached.stats, options.backend)
+                return cached
+        stats = CompileStats()
+        program, info, ir, bounds = _run_frontend_linked(
+            linked, target, options, stats
+        )
 
-    compiled = CompiledProgram(
-        source_name=linked.name,
-        target=target,
-        info=info,
-        ir=ir,
-        bounds=bounds,
-        solution=solution,
-        stats=stats,
-    )
-    compiled = _assemble(compiled, lm.instances, solution, options)
-    if cache is not None:
-        cache.put_layout(pseudo, target, options, compiled)
-    return compiled
+        t0 = time.perf_counter()
+        with trace.span("compile.ilp_build"):
+            builder = LayoutBuilder(ir, bounds, target, options.layout)
+            lm = builder.build()
+        stats.ilp_build_seconds = time.perf_counter() - t0
+        stats.ilp_variables = lm.model.num_variables
+        stats.ilp_constraints = lm.model.num_constraints
+
+        with trace.span("compile.ilp_solve",
+                        backend=options.backend) as solve_span:
+            solution = builder.solve(
+                utility=linked.utility,
+                backend=options.backend,
+                time_limit=options.time_limit,
+                warm_start=options.warm_start,
+                utility_terms=linked.utility_terms,
+                floors=linked.floors,
+            )
+            solve_span.set_attrs(
+                status=solution.status.value,
+                nodes_explored=solution.nodes_explored,
+            )
+        stats.ilp_solve_seconds = solution.solve_seconds
+        stats.ilp_variables = lm.model.num_variables
+        stats.ilp_constraints = lm.model.num_constraints
+
+        compiled = CompiledProgram(
+            source_name=linked.name,
+            target=target,
+            info=info,
+            ir=ir,
+            bounds=bounds,
+            solution=solution,
+            stats=stats,
+        )
+        compiled = _assemble(compiled, lm.instances, solution, options)
+        if cache is not None:
+            cache.put_layout(pseudo, target, options, compiled)
+        span.set_attrs(status=solution.status.value,
+                       symbols=dict(solution.symbol_values))
+        _record_compile_metrics(stats, options.backend)
+        return compiled
 
 
 def compile_linked_greedy(
@@ -444,17 +548,25 @@ def compile_linked_greedy(
     options: CompileOptions | None = None,
 ) -> CompiledProgram:
     """Greedy-layout counterpart of :func:`compile_linked`."""
+    options = options or CompileOptions()
+    span = trace.span("compile", source=linked.name, target=target.name,
+                      backend="greedy", linked=True)
+    with span:
+        return _compile_linked_greedy_body(linked, target, options, span)
+
+
+def _compile_linked_greedy_body(linked, target, options, span):
     from .greedy import greedy_layout
     from .utility import eval_utility_term
 
-    options = options or CompileOptions()
     stats = CompileStats()
     program, info, ir, bounds = _run_frontend_linked(
         linked, target, options, stats
     )
 
     t0 = time.perf_counter()
-    result = greedy_layout(ir, bounds, target)
+    with trace.span("compile.greedy_layout"):
+        result = greedy_layout(ir, bounds, target)
     stats.ilp_solve_seconds = time.perf_counter() - t0
 
     iteration_active = {
@@ -498,4 +610,8 @@ def compile_linked_greedy(
         solution=solution,
         stats=stats,
     )
-    return _assemble(compiled, result.instances, solution, options)
+    compiled = _assemble(compiled, result.instances, solution, options)
+    span.set_attrs(status=solution.status.value,
+                   symbols=dict(solution.symbol_values))
+    _record_compile_metrics(stats, "greedy")
+    return compiled

@@ -8,6 +8,8 @@ solver-ablation benchmark use.
 
 from __future__ import annotations
 
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .model import Model
 from .solution import Solution, SolverError
 
@@ -40,18 +42,57 @@ def solve(
     """
     if backend == "auto":
         backend = available_backends()[0]
-    if backend == "scipy":
-        from .solver_scipy import solve_scipy
+    if backend in ("scipy", "bb"):
+        with trace.span(
+            "ilp.solve",
+            backend=backend,
+            variables=model.num_variables,
+            constraints=model.num_constraints,
+            time_limit=time_limit,
+            warm_start=warm_start is not None,
+        ) as span:
+            if backend == "scipy":
+                from .solver_scipy import solve_scipy
 
-        return solve_scipy(model, time_limit=time_limit, warm_start=warm_start)
-    if backend == "bb":
-        from .solver_bb import solve_branch_and_bound
+                solution = solve_scipy(
+                    model, time_limit=time_limit, warm_start=warm_start
+                )
+            else:
+                from .solver_bb import solve_branch_and_bound
 
-        return solve_branch_and_bound(
-            model, time_limit=time_limit, warm_start=warm_start
-        )
+                solution = solve_branch_and_bound(
+                    model, time_limit=time_limit, warm_start=warm_start
+                )
+            span.set_attrs(
+                status=solution.status.value,
+                nodes_explored=solution.nodes_explored,
+                solve_seconds=solution.solve_seconds,
+            )
+        _record_solve_metrics(solution)
+        return solution
     raise SolverError(
         f"unknown ILP backend {backend!r}; options: auto, scipy, bb "
         "(the compile driver additionally accepts 'greedy', which bypasses "
         "the ILP entirely)"
     )
+
+
+def _record_solve_metrics(solution: Solution) -> None:
+    """Per-solve counters/histograms on the global registry."""
+    backend = solution.backend or "unknown"
+    obs_metrics.counter(
+        "p4all_ilp_solves_total",
+        help="ILP solves, by backend and terminal status.",
+        labels=("backend", "status"),
+    ).inc(backend=backend, status=solution.status.value)
+    obs_metrics.histogram(
+        "p4all_ilp_solve_seconds",
+        help="Wall time of one ILP solve.",
+        labels=("backend",),
+    ).observe(solution.solve_seconds, backend=backend)
+    if solution.nodes_explored:
+        obs_metrics.counter(
+            "p4all_ilp_nodes_explored_total",
+            help="Branch-and-bound / MIP nodes explored across solves.",
+            labels=("backend",),
+        ).inc(solution.nodes_explored, backend=backend)

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import trace
 from .model import Model, VarType
 from .solution import Solution, SolveStatus, SolverError
 
@@ -104,6 +105,33 @@ def _try_rounding(x, int_idx, model: Model, lbs, ubs):
 
 
 def solve_branch_and_bound(
+    model: Model,
+    time_limit: float | None = None,
+    max_nodes: int = 200_000,
+    warm_start: dict | None = None,
+) -> Solution:
+    """Traced wrapper over :func:`_solve_branch_and_bound` — the span
+    records the search's size and outcome (nodes explored, incumbent
+    source) for the observability layer."""
+    with trace.span(
+        "ilp.bb",
+        variables=len(model.variables),
+        time_limit=time_limit,
+        warm_start=warm_start is not None,
+    ) as span:
+        solution = _solve_branch_and_bound(
+            model, time_limit=time_limit, max_nodes=max_nodes,
+            warm_start=warm_start,
+        )
+        span.set_attrs(
+            status=solution.status.value,
+            nodes_explored=solution.nodes_explored,
+            incumbent_source=solution.incumbent_source,
+        )
+        return solution
+
+
+def _solve_branch_and_bound(
     model: Model,
     time_limit: float | None = None,
     max_nodes: int = 200_000,

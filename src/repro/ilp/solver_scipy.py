@@ -10,6 +10,7 @@ import time
 
 import numpy as np
 
+from ..obs import trace
 from .model import Model, VarType
 from .solution import Solution, SolveStatus, SolverError
 
@@ -49,16 +50,24 @@ def solve_scipy(
 
     constraints = [LinearConstraint(a, lo, hi)] if len(model.constraints) else []
     started = time.perf_counter()
-    result = milp(
-        c=c,
-        constraints=constraints,
-        bounds=Bounds(lbs, ubs),
-        integrality=integrality,
-        options=options,
-    )
+    with trace.span(
+        "ilp.scipy",
+        variables=len(model.variables),
+        time_limit=time_limit,
+    ) as span:
+        result = milp(
+            c=c,
+            constraints=constraints,
+            bounds=Bounds(lbs, ubs),
+            integrality=integrality,
+            options=options,
+        )
+        status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
+        span.set_attrs(
+            status=status.value,
+            nodes_explored=int(getattr(result, "mip_node_count", 0) or 0),
+        )
     elapsed = time.perf_counter() - started
-
-    status = _STATUS_MAP.get(result.status, SolveStatus.ERROR)
     if result.x is None:
         return Solution(status=status, solve_seconds=elapsed, backend="scipy-highs")
 

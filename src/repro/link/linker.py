@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 
 from ..core.cache import source_fingerprint
 from ..lang import ast
+from ..obs import trace
 from ..lang.pretty import pretty_program
 from ..lang.symbols import ModuleNamespace, static_names
 from .errors import IsolationError, LinkError
@@ -423,6 +424,12 @@ def _merge_program(glue: ModuleIR | None, irs: Sequence[ModuleIR],
     return ast.Program(decls=decls, source=source, filename=f"<linked {name}>")
 
 
+def _traced_module_ir(builder, module_name: str, *args, **kwargs):
+    """Run one module's IR extraction under a ``link.module`` span."""
+    with trace.span("link.module", module=module_name):
+        return builder(*args, **kwargs)
+
+
 def link_p4all_modules(
     modules,
     extra_metadata=None,
@@ -452,13 +459,33 @@ def link_p4all_modules(
     if len(set(names)) != len(names):
         raise LinkError(f"duplicate module names in link: {names}")
 
-    irs = [module_ir(m, cache) for m in modules]
+    with trace.span(
+        "link", kind="p4all_modules", modules=len(modules),
+        names=",".join(names),
+    ) as _span:
+        linked = _link_p4all_modules_body(
+            modules, extra_metadata, utility, utility_weights,
+            extra_assumes, extra_declarations, pre_apply, post_apply,
+            consts, floors, cache, allow_cross_module_state, name, entry,
+        )
+        _span.set_attrs(linked_name=linked.name,
+                        diagnostics=len(linked.diagnostics))
+        return linked
+
+
+def _link_p4all_modules_body(
+    modules, extra_metadata, utility, utility_weights, extra_assumes,
+    extra_declarations, pre_apply, post_apply, consts, floors, cache,
+    allow_cross_module_state, name, entry,
+) -> LinkedProgram:
+    irs = [_traced_module_ir(module_ir, m.name, m, cache) for m in modules]
 
     glue_source = _glue_fragment(consts, extra_assumes, extra_metadata,
                                  extra_declarations, pre_apply, post_apply,
                                  utility)
-    glue = module_ir_from_source(APP_MODULE, glue_source, cache,
-                                 entry=_PRE_WRAPPER)
+    glue = _traced_module_ir(module_ir_from_source, APP_MODULE,
+                             APP_MODULE, glue_source, cache,
+                             entry=_PRE_WRAPPER)
     # The glue fragment carries two wrapper controls; _PRE is the entry
     # (already inlined), _POST is extracted from the leftover decls.
     post_ctrl = next(
@@ -589,7 +616,22 @@ def link_files(
                 f"(have: {', '.join(names)})"
             )
 
-    irs = [module_ir_from_source(n, text, cache, entry=entry)
+    with trace.span(
+        "link", kind="files", modules=len(named), names=",".join(names),
+    ) as _span:
+        linked = _link_files_body(named, names, weights, floors, cache,
+                                  allow_cross_module_state, entry, name)
+        _span.set_attrs(linked_name=linked.name,
+                        diagnostics=len(linked.diagnostics))
+        return linked
+
+
+def _link_files_body(
+    named, names, weights, floors, cache, allow_cross_module_state,
+    entry, name,
+) -> LinkedProgram:
+    irs = [_traced_module_ir(module_ir_from_source, n,
+                             n, text, cache, entry=entry)
            for n, text in named]
     irs, _renamed = _resolve_collisions(irs)
 

@@ -1,0 +1,109 @@
+"""Unified observability: tracing spans + metrics across the stack.
+
+One substrate for all measurement (see docs/OBSERVABILITY.md):
+
+* :data:`trace` — the process-wide :class:`~repro.obs.tracer.Tracer`.
+  Disabled by default (near-zero overhead: one attribute check per
+  instrumentation site); enabled by ``p4all ... --trace out.json``,
+  ``REPRO_TRACE=1``, or :meth:`~repro.obs.tracer.Tracer.enable`.
+  Exports to Chrome trace-event JSON (open in Perfetto /
+  ``chrome://tracing``) and JSONL.
+* :data:`metrics` — the process-wide
+  :class:`~repro.obs.metrics.MetricsRegistry` of counters, gauges, and
+  histograms; always on (updates are batch-level, never per-packet).
+  Exports to the Prometheus text exposition format.
+* :func:`~repro.obs.bridge.bridge_telemetry` — mirrors a runtime
+  :class:`~repro.runtime.telemetry.TelemetryBus` into the active span
+  tree so control-plane events land on the same timeline.
+
+Instrumentation sites just do::
+
+    from ..obs import trace, metrics
+
+    with trace.span("ilp.solve", backend=backend) as sp:
+        solution = ...
+        sp.set_attr("status", solution.status.value)
+    metrics.counter("p4all_ilp_solves_total", labels=("backend",)) \\
+        .inc(backend=backend)
+
+This package imports nothing from the rest of :mod:`repro`, so every
+layer (lang → core → ilp → pisa → runtime) may depend on it without
+cycles.
+"""
+
+from .bridge import bridge_telemetry
+from .export import (
+    chrome_trace,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    validate_prometheus_file,
+    validate_prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+    write_trace_jsonl,
+)
+from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .tracer import NULL_SPAN, Span, SpanEvent, Tracer
+
+__all__ = [
+    "trace",
+    "metrics",
+    "observed",
+    "Tracer",
+    "Span",
+    "SpanEvent",
+    "NULL_SPAN",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "bridge_telemetry",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "write_prometheus",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "validate_prometheus_text",
+    "validate_prometheus_file",
+]
+
+#: Process-wide tracer. Disabled unless REPRO_TRACE is set (or a CLI
+#: flag / test enables it); instrumentation is free while disabled.
+trace = Tracer()
+
+#: Process-wide metrics registry; always on.
+metrics = MetricsRegistry()
+
+
+class observed:
+    """Context manager tying a region to exported artifacts.
+
+    Enables the global tracer when ``trace_path`` is given, and on exit
+    — even an exceptional one, so a failed compile still leaves its
+    partial timeline behind — writes the Chrome trace and/or Prometheus
+    textfile. The CLI wraps each ``--trace``/``--metrics`` command in
+    one of these.
+    """
+
+    def __init__(self, trace_path=None, metrics_path=None,
+                 tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None):
+        self.trace_path = trace_path
+        self.metrics_path = metrics_path
+        self.tracer = tracer if tracer is not None else trace
+        self.registry = registry if registry is not None else metrics
+
+    def __enter__(self) -> "observed":
+        if self.trace_path is not None:
+            self.tracer.enable(reset=True)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.trace_path is not None:
+            write_chrome_trace(self.tracer, self.trace_path)
+            self.tracer.disable()
+        if self.metrics_path is not None:
+            write_prometheus(self.registry, self.metrics_path)
+        return False

@@ -1,0 +1,289 @@
+"""A small Prometheus-style metrics registry.
+
+Three instrument kinds, all label-aware and thread-safe:
+
+* :class:`Counter` — monotone (cache hits, packets processed, solver
+  nodes explored, reconfiguration outcomes);
+* :class:`Gauge` — a value that goes both ways (per-stage ALU/memory
+  occupancy of the live layout, windowed hit rate);
+* :class:`Histogram` — cumulative-bucket distributions (ILP solve
+  seconds, reconfiguration latency).
+
+Instruments are registered once by name on a :class:`MetricsRegistry`
+(re-registration with the same shape returns the same object, so
+call sites can re-declare instead of threading references around), and
+the whole registry renders to the Prometheus text exposition format
+(:meth:`MetricsRegistry.to_prometheus`) — the textfile-collector
+contract, validated by
+:func:`repro.obs.export.validate_prometheus_text`.
+
+Updates are a dict write under a lock — cheap enough to leave always
+on; hot paths keep them off the per-packet path by updating per batch.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Any, Iterable
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "MetricError"]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets (seconds-flavored, like Prometheus').
+DEFAULT_BUCKETS = (0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class MetricError(ValueError):
+    """Bad metric name, labels, or conflicting re-registration."""
+
+
+def _escape(value: Any) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Metric:
+    """Common machinery: name/label validation and per-labelset storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Iterable[str] = ()):
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        labels = tuple(labels)
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r} on {name!r}")
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._lock = threading.Lock()
+        self._values: dict[tuple, Any] = {}
+
+    def _key(self, label_values: dict[str, Any]) -> tuple:
+        if set(label_values) != set(self.labels):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {self.labels}, "
+                f"got {tuple(sorted(label_values))}"
+            )
+        return tuple(str(label_values[label]) for label in self.labels)
+
+    def _label_str(self, key: tuple) -> str:
+        if not self.labels:
+            return ""
+        inner = ",".join(
+            f'{label}="{_escape(value)}"'
+            for label, value in zip(self.labels, key)
+        )
+        return "{" + inner + "}"
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        """``(name, label_str, value)`` rows for the text exposition."""
+        with self._lock:
+            return [
+                (self.name, self._label_str(key), float(value))
+                for key, value in sorted(self._values.items())
+            ]
+
+    def to_dict(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "name": self.name,
+                "kind": self.kind,
+                "help": self.help,
+                "labels": list(self.labels),
+                "values": {",".join(k) if k else "": v
+                           for k, v in self._values.items()},
+            }
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **label_values: Any) -> None:
+        if amount < 0:
+            raise MetricError(
+                f"counter {self.name!r} cannot decrease (inc by {amount})"
+            )
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0) + amount
+
+    def value(self, **label_values: Any) -> float:
+        key = self._key(label_values)
+        with self._lock:
+            return float(self._values.get(key, 0))
+
+
+class Gauge(_Metric):
+    """A value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **label_values: Any) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **label_values: Any) -> None:
+        key = self._key(label_values)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1, **label_values: Any) -> None:
+        self.inc(-amount, **label_values)
+
+    def value(self, **label_values: Any) -> float:
+        key = self._key(label_values)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count``."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, help: str = "", labels: Iterable[str] = (),
+                 buckets: Iterable[float] = DEFAULT_BUCKETS):
+        super().__init__(name, help, labels)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise MetricError(f"histogram {name!r} needs at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **label_values: Any) -> None:
+        key = self._key(label_values)
+        value = float(value)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                state = {"counts": [0] * len(self.buckets),
+                         "sum": 0.0, "count": 0}
+                self._values[key] = state
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    state["counts"][i] += 1
+            state["sum"] += value
+            state["count"] += 1
+
+    def snapshot(self, **label_values: Any) -> dict[str, Any]:
+        key = self._key(label_values)
+        with self._lock:
+            state = self._values.get(key)
+            if state is None:
+                return {"counts": [0] * len(self.buckets),
+                        "sum": 0.0, "count": 0}
+            return {"counts": list(state["counts"]),
+                    "sum": state["sum"], "count": state["count"]}
+
+    def samples(self) -> list[tuple[str, str, float]]:
+        rows: list[tuple[str, str, float]] = []
+        with self._lock:
+            for key, state in sorted(self._values.items()):
+                base = self._label_str(key)
+                joiner = "," if base else ""
+                stripped = base[1:-1] if base else ""
+                for bound, count in zip(self.buckets, state["counts"]):
+                    le = _format_value(bound)
+                    labels = "{" + stripped + joiner + f'le="{le}"' + "}"
+                    rows.append((self.name + "_bucket", labels, float(count)))
+                inf_labels = "{" + stripped + joiner + 'le="+Inf"' + "}"
+                rows.append((self.name + "_bucket", inf_labels,
+                             float(state["count"])))
+                rows.append((self.name + "_sum", base, float(state["sum"])))
+                rows.append((self.name + "_count", base,
+                             float(state["count"])))
+        return rows
+
+    def to_dict(self) -> dict[str, Any]:
+        out = super().to_dict()
+        out["buckets"] = list(self.buckets)
+        return out
+
+
+class MetricsRegistry:
+    """Owns a namespace of instruments and renders them together."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, cls, name: str, help: str, labels, **kwargs):
+        labels = tuple(labels)
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if not isinstance(existing, cls) or existing.labels != labels:
+                    raise MetricError(
+                        f"metric {name!r} already registered as "
+                        f"{existing.kind} with labels {existing.labels}"
+                    )
+                return existing
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Iterable[str] = ()) -> Counter:
+        return self._register(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Iterable[str] = ()) -> Gauge:
+        return self._register(Gauge, name, help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Iterable[str] = (),
+                  buckets: Iterable[float] = DEFAULT_BUCKETS) -> Histogram:
+        metric = self._register(Histogram, name, help, labels, buckets=buckets)
+        return metric
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> list[_Metric]:
+        with self._lock:
+            return [self._metrics[name] for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Forget every instrument (tests and fresh CLI invocations)."""
+        with self._lock:
+            self._metrics.clear()
+
+    def to_prometheus(self) -> str:
+        """Render the Prometheus text exposition format (textfile
+        collector contract: ``# HELP`` / ``# TYPE`` then samples)."""
+        lines: list[str] = []
+        for metric in self.collect():
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {_escape(metric.help)}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for name, label_str, value in metric.samples():
+                lines.append(f"{name}{label_str} {_format_value(value)}")
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def to_dict(self) -> dict[str, Any]:
+        return {m.name: m.to_dict() for m in self.collect()}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def __repr__(self) -> str:
+        return f"MetricsRegistry({len(self)} metrics)"

@@ -1,0 +1,137 @@
+"""Human-readable summaries of exported observability artifacts.
+
+Backs ``p4all obs``: given a Chrome trace JSON (and optionally a
+Prometheus textfile), print an aggregate table per span name, the
+reconstructed tree of the slowest root span (exact parentage via the
+``span_id``/``parent_id`` the exporter stashes in ``args``), and the
+metric families with their samples. Works on the files alone — no live
+tracer or registry needed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["summarize_chrome_trace", "summarize_prometheus_text",
+           "summarize_prometheus_file", "summarize_trace_file"]
+
+
+def _fmt_ms(us: float) -> str:
+    return f"{us / 1000.0:10.3f}ms"
+
+
+def summarize_chrome_trace(obj: dict, tree_depth: int = 6,
+                           top: int = 20) -> str:
+    """Aggregate + tree view of a Chrome trace-event JSON object."""
+    complete = [e for e in obj.get("traceEvents", [])
+                if e.get("ph") == "X"]
+    instants = [e for e in obj.get("traceEvents", [])
+                if e.get("ph") == "i"]
+    if not complete:
+        return "trace contains no spans"
+
+    # -- aggregate by span name ------------------------------------------------
+    stats: dict[str, list[float]] = {}
+    for event in complete:
+        stats.setdefault(event["name"], []).append(float(event.get("dur", 0)))
+    lines = [
+        f"{len(complete)} spans, {len(instants)} events, "
+        f"{len(stats)} distinct span names",
+        "",
+        f"{'span':<28} {'count':>6} {'total':>12} {'mean':>12} {'max':>12}",
+    ]
+    ranked = sorted(stats.items(), key=lambda kv: -sum(kv[1]))
+    for name, durs in ranked[:top]:
+        lines.append(
+            f"{name:<28} {len(durs):>6} {_fmt_ms(sum(durs)):>12} "
+            f"{_fmt_ms(sum(durs) / len(durs)):>12} {_fmt_ms(max(durs)):>12}"
+        )
+    if len(ranked) > top:
+        lines.append(f"... and {len(ranked) - top} more span names")
+
+    # -- tree of the slowest root ----------------------------------------------
+    by_id: dict[int, dict] = {}
+    children: dict[int | None, list[dict]] = {}
+    for event in complete:
+        args = event.get("args", {})
+        sid = args.get("span_id")
+        if sid is None:
+            continue
+        by_id[sid] = event
+        children.setdefault(args.get("parent_id"), []).append(event)
+    roots = [e for e in complete
+             if e.get("args", {}).get("parent_id") not in by_id]
+    if roots:
+        root = max(roots, key=lambda e: float(e.get("dur", 0)))
+        lines += ["", f"slowest root span ({_fmt_ms(float(root['dur'])).strip()}):"]
+
+        def walk(event: dict, depth: int) -> None:
+            indent = "  " * depth
+            n_events = sum(
+                1 for i in instants
+                if i.get("args", {}).get("span_id")
+                == event["args"].get("span_id")
+            )
+            suffix = f"  [{n_events} events]" if n_events else ""
+            lines.append(
+                f"{indent}{event['name']:<{max(30 - 2 * depth, 8)}} "
+                f"{_fmt_ms(float(event.get('dur', 0)))}{suffix}"
+            )
+            if depth >= tree_depth:
+                return
+            kids = children.get(event["args"].get("span_id"), [])
+            for kid in sorted(kids, key=lambda e: e["ts"]):
+                walk(kid, depth + 1)
+
+        walk(root, 0)
+    return "\n".join(lines)
+
+
+def summarize_trace_file(path: str | Path, **kwargs) -> str:
+    return summarize_chrome_trace(json.loads(Path(path).read_text()), **kwargs)
+
+
+def summarize_prometheus_text(text: str, max_samples: int = 8) -> str:
+    """Family-by-family view of a Prometheus textfile."""
+    families: dict[str, dict] = {}
+    order: list[str] = []
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families.setdefault(parts[2], {"type": parts[3],
+                                               "samples": []})
+                if parts[2] not in order:
+                    order.append(parts[2])
+            continue
+        name = line.split("{", 1)[0].split()[0]
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                family = name[: -len(suffix)]
+                break
+        families.setdefault(family, {"type": "untyped", "samples": []})
+        if family not in order:
+            order.append(family)
+        families[family]["samples"].append(line)
+    if not families:
+        return "no metrics"
+    lines = [f"{len(families)} metric families"]
+    for name in order:
+        info = families[name]
+        lines.append(f"\n{name} ({info['type']}, "
+                     f"{len(info['samples'])} samples)")
+        for sample in info["samples"][:max_samples]:
+            lines.append(f"  {sample}")
+        if len(info["samples"]) > max_samples:
+            lines.append(
+                f"  ... and {len(info['samples']) - max_samples} more"
+            )
+    return "\n".join(lines)
+
+
+def summarize_prometheus_file(path: str | Path, **kwargs) -> str:
+    return summarize_prometheus_text(Path(path).read_text(), **kwargs)

@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 
 from ..lang import ast
 from ..lang.symbols import eval_static
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .hashing import hash_family
 from .interp import ExecContext, SimulationError, eval_expr, exec_unit_body
 from .packet import Packet
@@ -103,6 +105,7 @@ class Pipeline:
             self._plan_run = self.plan.fast_run or self.plan.run
         if validate:
             self.validate()
+        self._export_occupancy_metrics()
 
     # -- construction ---------------------------------------------------------
     def _build_phv_layout(self) -> PhvLayout:
@@ -156,44 +159,83 @@ class Pipeline:
         return stages
 
     # -- validation -------------------------------------------------------------
-    def validate(self) -> None:
-        """Re-check every per-stage resource budget against the layout."""
-        target = self.target
-        if self.phv_layout.used_bits > target.phv_bits:  # pragma: no cover
-            raise ValidationError("PHV allocation exceeds capacity")
+    def resource_occupancy(self) -> list[dict[str, int]]:
+        """Per-stage resource usage of this layout on its target.
+
+        One dict per physical stage with ``memory_bits`` (registers plus
+        match-action table memory), ``stateful_alus``, ``stateless_alus``,
+        ``hash_units``, and ``units`` (allocated structure instances).
+        This is the same accounting :meth:`validate` enforces and the
+        observability layer exports as per-stage gauges.
+        """
         from ..core.tablemem import table_memory_bits
 
+        target = self.target
+        stages: list[dict[str, int]] = []
         for stage in range(target.stages):
             mem = self.registers.memory_bits_in_stage(stage)
+            stateful = stateless = hashes = 0
             for unit in self._stage_units[stage]:
                 if unit.instance.table is not None:
                     mem += table_memory_bits(
                         self.info.tables[unit.instance.table], self.info
                     )
-            if mem > target.memory_bits_per_stage:
-                raise ValidationError(
-                    f"stage {stage}: {mem} register bits exceed "
-                    f"{target.memory_bits_per_stage}"
-                )
-            stateful = stateless = hashes = 0
-            for unit in self._stage_units[stage]:
                 cost = unit.instance.cost
                 stateful += target.hf(cost)
                 stateless += target.hl(cost)
                 hashes += cost.hash_ops
-            if stateful > target.stateful_alus_per_stage:
+            stages.append({
+                "memory_bits": mem,
+                "stateful_alus": stateful,
+                "stateless_alus": stateless,
+                "hash_units": hashes,
+                "units": len(self._stage_units[stage]),
+            })
+        return stages
+
+    _OCCUPANCY_GAUGES = (
+        ("memory_bits", "p4all_stage_memory_bits",
+         "Register + table memory bits allocated in the stage."),
+        ("stateful_alus", "p4all_stage_stateful_alus",
+         "Stateful ALUs consumed in the stage."),
+        ("stateless_alus", "p4all_stage_stateless_alus",
+         "Stateless ALUs consumed in the stage."),
+        ("hash_units", "p4all_stage_hash_units",
+         "Hash units consumed in the stage."),
+    )
+
+    def _export_occupancy_metrics(self) -> None:
+        """Publish per-stage occupancy gauges (latest built pipeline wins)."""
+        for stage, occ in enumerate(self.resource_occupancy()):
+            for key, metric, help_text in self._OCCUPANCY_GAUGES:
+                obs_metrics.gauge(
+                    metric, help=help_text, labels=("stage",),
+                ).set(occ[key], stage=str(stage))
+
+    def validate(self) -> None:
+        """Re-check every per-stage resource budget against the layout."""
+        target = self.target
+        if self.phv_layout.used_bits > target.phv_bits:  # pragma: no cover
+            raise ValidationError("PHV allocation exceeds capacity")
+        for stage, occ in enumerate(self.resource_occupancy()):
+            if occ["memory_bits"] > target.memory_bits_per_stage:
                 raise ValidationError(
-                    f"stage {stage}: {stateful} stateful ALUs exceed "
+                    f"stage {stage}: {occ['memory_bits']} register bits exceed "
+                    f"{target.memory_bits_per_stage}"
+                )
+            if occ["stateful_alus"] > target.stateful_alus_per_stage:
+                raise ValidationError(
+                    f"stage {stage}: {occ['stateful_alus']} stateful ALUs exceed "
                     f"{target.stateful_alus_per_stage}"
                 )
-            if stateless > target.stateless_alus_per_stage:
+            if occ["stateless_alus"] > target.stateless_alus_per_stage:
                 raise ValidationError(
-                    f"stage {stage}: {stateless} stateless ALUs exceed "
+                    f"stage {stage}: {occ['stateless_alus']} stateless ALUs exceed "
                     f"{target.stateless_alus_per_stage}"
                 )
-            if hashes > target.hash_units_per_stage:
+            if occ["hash_units"] > target.hash_units_per_stage:
                 raise ValidationError(
-                    f"stage {stage}: {hashes} hash ops exceed "
+                    f"stage {stage}: {occ['hash_units']} hash ops exceed "
                     f"{target.hash_units_per_stage} hash units"
                 )
         # Registers must be accessed only from their own stage.
@@ -343,7 +385,25 @@ class Pipeline:
         * ``collect=False`` (no callback): discards results entirely and
           returns the packet count — for workloads that only care about
           the register state left behind.
+
+        Each call is one ``pisa.batch`` span and one bump of the
+        ``p4all_packets_total`` counter; the per-packet :meth:`process`
+        path carries no instrumentation at all, so batch size sets the
+        observability overhead.
         """
+        with trace.span("pisa.batch", engine=self.engine) as span:
+            result = self._process_many(packets, collect, callback)
+            count = result if isinstance(result, int) else len(result)
+            span.set_attrs(packets=count)
+            obs_metrics.counter(
+                "p4all_packets_total",
+                help="Packets processed through batched pipeline runs.",
+                labels=("engine",),
+            ).inc(count, engine=self.engine)
+            return result
+
+    def _process_many(self, packets, collect: bool,
+                      callback) -> list[PipelineResult] | int:
         if callback is not None:
             count = 0
             for packet in packets:

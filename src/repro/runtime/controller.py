@@ -29,6 +29,9 @@ from typing import Callable
 from ..apps.netcache import NETCACHE_UTILITY, NetCacheApp, netcache_linked
 from ..core import CompileOptions, validate_layout
 from ..core.errors import CompileError
+from ..obs import bridge_telemetry
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..pisa import Packet
 from ..pisa.resources import TargetSpec
 from .migrate import MigrationReport, migrate_netcache_state
@@ -187,6 +190,9 @@ class ElasticRuntime:
         self.config = config or RuntimeConfig()
         # Explicit None-checks: an empty TelemetryBus is falsy (len 0).
         self.telemetry = telemetry if telemetry is not None else TelemetryBus()
+        # Mirror telemetry events into the active trace/metrics so a
+        # traced run interleaves control-plane events with spans.
+        bridge_telemetry(self.telemetry)
         # The runtime's control loop needs register-level access to both
         # structures, so it drives the library NetCache composition
         # (routing omitted: the runtime exercises the cache path). The
@@ -214,8 +220,10 @@ class ElasticRuntime:
         #: aborts the swap (exercises the rollback path).
         self.pre_commit_check: Callable[[NetCacheApp], None] | None = None
 
-        plan = self.planner.plan(self.source, target, cause="initial")
-        self.app = self._build_app(plan.compiled)
+        with trace.span("runtime.init", target=target.name) as span:
+            plan = self.planner.plan(self.source, target, cause="initial")
+            self.app = self._build_app(plan.compiled)
+            span.set_attrs(backend=plan.backend, fallback=plan.fallback)
         self.telemetry.emit(
             "configured",
             packet_index=0,
@@ -260,6 +268,26 @@ class ElasticRuntime:
     # -- reconfiguration cycle -------------------------------------------------
     def reconfigure(self, cause: str) -> ReconfigRecord:
         """Plan → build → migrate → validate → swap (or roll back)."""
+        with trace.span("runtime.reconfigure", cause=cause,
+                        packet_index=self.packets_processed) as span:
+            record = self._reconfigure(cause)
+            span.set_attrs(committed=record.committed, backend=record.backend,
+                           fallback=record.fallback, error=record.error)
+        outcome = ("committed" if record.committed
+                   else "plan-failed" if not record.backend
+                   else "rolled-back")
+        obs_metrics.counter(
+            "p4all_reconfigs_total",
+            help="Reconfiguration cycles, by trigger cause and outcome.",
+            labels=("cause", "outcome"),
+        ).inc(cause=cause, outcome=outcome)
+        obs_metrics.histogram(
+            "p4all_reconfig_seconds",
+            help="End-to-end wall time of one reconfiguration cycle.",
+        ).observe(record.seconds)
+        return record
+
+    def _reconfigure(self, cause: str) -> ReconfigRecord:
         started = time.perf_counter()
         new_target = self._pending_target or self.target
         baseline = self.monitor.steady_rate()
@@ -299,7 +327,13 @@ class ElasticRuntime:
         new_app = self._build_app(plan.compiled)
 
         if self.config.migrate_state:
-            record.migration = migrate_netcache_state(self.app, new_app)
+            with trace.span("runtime.migrate") as mspan:
+                record.migration = migrate_netcache_state(self.app, new_app)
+                mspan.set_attrs(
+                    kv_migrated=record.migration.kv_migrated,
+                    kv_entries_old=record.migration.kv_entries_old,
+                    kv_loss_fraction=record.migration.kv_loss_fraction,
+                )
             self.telemetry.emit(
                 "migration",
                 packet_index=self.packets_processed,
@@ -307,15 +341,17 @@ class ElasticRuntime:
             )
 
         try:
-            if self.config.validate_swap:
-                validate_layout(
-                    plan.compiled,
-                    hash_unit_limits=self.planner.options.layout.hash_unit_limits,
-                    table_memory=self.planner.options.layout.table_memory,
-                )
-                self._canary(new_app)
-            if self.pre_commit_check is not None:
-                self.pre_commit_check(new_app)
+            with trace.span("runtime.validate_swap",
+                            validate=self.config.validate_swap):
+                if self.config.validate_swap:
+                    validate_layout(
+                        plan.compiled,
+                        hash_unit_limits=self.planner.options.layout.hash_unit_limits,
+                        table_memory=self.planner.options.layout.table_memory,
+                    )
+                    self._canary(new_app)
+                if self.pre_commit_check is not None:
+                    self.pre_commit_check(new_app)
         except Exception as exc:  # roll back on *any* pre-commit failure
             record.error = str(exc)
             record.seconds = time.perf_counter() - started
@@ -381,40 +417,55 @@ class ElasticRuntime:
         triggers fire. Passing an existing ``report`` continues it."""
         report = report or RunReport()
         end = self.packets_processed + packets
-        while self.packets_processed < end:
-            # Apply scheduled provisioning changes that have come due.
-            while self._scheduled and self._scheduled[0][0] <= self.packets_processed:
-                _at, target = self._scheduled.pop(0)
-                self.set_target(target)
+        with trace.span("runtime.run", packets=packets) as run_span:
+            while self.packets_processed < end:
+                # Apply scheduled provisioning changes that have come due.
+                while (self._scheduled
+                       and self._scheduled[0][0] <= self.packets_processed):
+                    _at, target = self._scheduled.pop(0)
+                    self.set_target(target)
 
-            window_index = self.monitor.windows_recorded
-            if self._pending_target is not None:
-                report.reconfigs.append(self.reconfigure("target-change"))
-                self._last_reconfig_window = window_index
-            elif (
-                self.config.drift_reconfig
-                and self.monitor.drift_detected()
-                and window_index - self._last_reconfig_window
-                    >= self.config.cooldown_windows
-            ):
-                report.reconfigs.append(self.reconfigure("hit-rate-drop"))
-                self._last_reconfig_window = window_index
+                window_index = self.monitor.windows_recorded
+                if self._pending_target is not None:
+                    report.reconfigs.append(self.reconfigure("target-change"))
+                    self._last_reconfig_window = window_index
+                elif (
+                    self.config.drift_reconfig
+                    and self.monitor.drift_detected()
+                    and window_index - self._last_reconfig_window
+                        >= self.config.cooldown_windows
+                ):
+                    report.reconfigs.append(self.reconfigure("hit-rate-drop"))
+                    self._last_reconfig_window = window_index
 
-            n = min(self.config.window_packets, end - self.packets_processed)
-            keys = stream.sample(n)
-            stats = self.app.run_trace(keys)
-            self.packets_processed += n
-            self.total_hits += stats.hits
-            report.packets += n
-            report.hits += stats.hits
-            sample = self.monitor.record(stats.hits, n)
-            report.timeline.append(sample.hit_rate)
-            self.telemetry.emit(
-                "window",
-                packet_index=self.packets_processed,
-                window=sample.index,
-                hit_rate=sample.hit_rate,
-                occupancy=TrafficMonitor.structure_occupancy(self.app),
-            )
+                n = min(self.config.window_packets, end - self.packets_processed)
+                with trace.span("runtime.window") as wspan:
+                    keys = stream.sample(n)
+                    stats = self.app.run_trace(keys)
+                    self.packets_processed += n
+                    self.total_hits += stats.hits
+                    report.packets += n
+                    report.hits += stats.hits
+                    sample = self.monitor.record(stats.hits, n)
+                    report.timeline.append(sample.hit_rate)
+                    wspan.set_attrs(window=sample.index, packets=n,
+                                    hit_rate=sample.hit_rate)
+                obs_metrics.counter(
+                    "p4all_windows_total",
+                    help="Monitoring windows completed by the control loop.",
+                ).inc()
+                obs_metrics.gauge(
+                    "p4all_window_hit_rate",
+                    help="Hit rate of the most recent monitoring window.",
+                ).set(sample.hit_rate)
+                self.telemetry.emit(
+                    "window",
+                    packet_index=self.packets_processed,
+                    window=sample.index,
+                    hit_rate=sample.hit_rate,
+                    occupancy=TrafficMonitor.structure_occupancy(self.app),
+                )
+            run_span.set_attrs(hit_rate=report.hit_rate,
+                               reconfigs=len(report.reconfigs))
         report.final_symbols = dict(self.app.compiled.symbol_values)
         return report

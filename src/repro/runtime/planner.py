@@ -63,6 +63,8 @@ from ..core import (
 from ..core.cache import CompileCache
 from ..core.errors import CompileError
 from ..ilp import SolveStatus
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from ..pisa.resources import TargetSpec
 from .telemetry import TelemetryBus
 
@@ -177,10 +179,21 @@ class ReconfigPlanner:
         :class:`PlanError` when even the greedy path cannot produce a
         layout."""
         started = time.perf_counter()
-        if self.race and self.options.backend != "greedy":
-            result = self._plan_race(source, target, cause, started)
-        else:
-            result = self._plan_sequential(source, target, cause, started)
+        racing = self.race and self.options.backend != "greedy"
+        mode = "race" if racing else "sequential"
+        with trace.span("plan", cause=cause, target=target.name,
+                        mode=mode) as span:
+            if racing:
+                result = self._plan_race(source, target, cause, started)
+            else:
+                result = self._plan_sequential(source, target, cause, started)
+            span.set_attrs(backend=result.backend, fallback=result.fallback,
+                           plan_seconds=result.plan_seconds)
+        obs_metrics.histogram(
+            "p4all_plan_seconds",
+            help="Wall time of one planning cycle (compile + fallbacks).",
+            labels=("mode",),
+        ).observe(result.plan_seconds, mode=mode)
         self._last_solution = result.compiled.solution
         result.solver_stats = self._solver_stats(result.compiled)
         attribution = module_attribution(result.compiled)

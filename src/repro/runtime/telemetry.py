@@ -6,6 +6,10 @@ emitted as a :class:`TelemetryEvent` on a :class:`TelemetryBus`. Events
 are plain data (JSON-serializable dicts), so the same stream feeds the
 in-memory assertions the tests make, the ``p4all run`` report, the
 runtime eval experiment, and an optional JSON-lines sink on disk.
+
+The bus also feeds the observability layer:
+:func:`repro.obs.bridge.bridge_telemetry` subscribes a mirror that
+turns every event into a span-tree instant and a per-kind counter.
 """
 
 from __future__ import annotations
@@ -14,9 +18,13 @@ import json
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Callable
+from typing import Any, Callable, TextIO
 
 __all__ = ["TelemetryEvent", "TelemetryBus"]
+
+#: Core field names of :meth:`TelemetryEvent.to_dict`; colliding keys in
+#: ``data`` are re-keyed ``data_<key>`` rather than silently shadowing.
+_CORE_FIELDS = ("seq", "kind", "packet_index", "wall_time", "perf_time")
 
 
 @dataclass
@@ -28,22 +36,30 @@ class TelemetryEvent:
     ``swap_committed``, ``rollback``, ``window``, ...); ``packet_index``
     is the position in the packet stream when the event fired (``None``
     for events outside a run); ``data`` carries kind-specific fields.
+    ``wall_time`` is ``time.time()`` at emission (for correlating with
+    the outside world) and ``perf_time`` is ``time.perf_counter()``
+    (monotonic — safe for computing intervals between events even
+    across a wall-clock adjustment).
     """
 
     seq: int
     kind: str
     packet_index: int | None = None
     wall_time: float = 0.0
+    perf_time: float = 0.0
     data: dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out: dict[str, Any] = {
             "seq": self.seq,
             "kind": self.kind,
             "packet_index": self.packet_index,
             "wall_time": self.wall_time,
-            **self.data,
+            "perf_time": self.perf_time,
         }
+        for key, value in self.data.items():
+            out[f"data_{key}" if key in _CORE_FIELDS else key] = value
+        return out
 
     def to_json(self) -> str:
         return json.dumps(self.to_dict(), sort_keys=True, default=str)
@@ -55,12 +71,18 @@ class TelemetryBus:
     ``subscribe`` registers a callback invoked synchronously on every
     event (the eval harness uses this to narrate progress); subscriber
     exceptions propagate — the bus is for observability, not isolation.
+
+    The sink file is opened lazily on the first emit and the handle is
+    held (appending) until :meth:`close` — the bus is usable as a
+    context manager. Each event is flushed as written, so a crashed run
+    still leaves a complete stream behind.
     """
 
     def __init__(self, sink: str | Path | None = None):
         self.events: list[TelemetryEvent] = []
         self._subscribers: list[Callable[[TelemetryEvent], None]] = []
         self._sink_path = Path(sink) if sink is not None else None
+        self._sink_fh: TextIO | None = None
         self._seq = 0
 
     def subscribe(self, callback: Callable[[TelemetryEvent], None]) -> None:
@@ -73,16 +95,33 @@ class TelemetryBus:
             kind=kind,
             packet_index=packet_index,
             wall_time=time.time(),
+            perf_time=time.perf_counter(),
             data=data,
         )
         self._seq += 1
         self.events.append(event)
         if self._sink_path is not None:
-            with self._sink_path.open("a") as fh:
-                fh.write(event.to_json() + "\n")
+            if self._sink_fh is None:
+                self._sink_fh = self._sink_path.open("a")
+            self._sink_fh.write(event.to_json() + "\n")
+            self._sink_fh.flush()
         for callback in self._subscribers:
             callback(event)
         return event
+
+    def close(self) -> None:
+        """Close the sink file handle, if one was opened. Safe to call
+        repeatedly; a later emit reopens the sink (still appending)."""
+        if self._sink_fh is not None:
+            self._sink_fh.close()
+            self._sink_fh = None
+
+    def __enter__(self) -> "TelemetryBus":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # -- queries ---------------------------------------------------------------
     def events_of(self, kind: str) -> list[TelemetryEvent]:

@@ -1,0 +1,13 @@
+"""Fixtures keeping the global tracer/registry clean between tests."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    """Tests may enable the global tracer; always restore disabled+empty."""
+    yield
+    obs.trace.disable()
+    obs.trace.reset()

@@ -1,0 +1,193 @@
+"""End-to-end observability: traced compiles, traced elastic runs, CLI.
+
+These use the *global* ``repro.obs.trace``/``metrics`` singletons the
+instrumentation sites talk to; the conftest fixture restores the tracer
+to disabled+empty after each test.
+"""
+
+import dataclasses
+import json
+
+from repro import obs
+from repro.core import CompileOptions, compile_source
+from repro.obs import chrome_trace, validate_chrome_trace
+from repro.obs.summary import summarize_chrome_trace
+from repro.pisa.resources import small_target
+
+SOURCE = """
+symbolic int n;
+struct metadata {
+    bit<32> fkey;
+    bit<32>[n] h;
+}
+register<bit<8>>[16][n] marks;
+action probe()[int i] {
+    meta.h[i] = hash(i, meta.fkey);
+    marks[i].write(meta.h[i], 1);
+}
+control Ingress(inout metadata meta) {
+    apply { for (i < n) { probe()[i]; } }
+}
+optimize n;
+"""
+
+
+def _span_tree(tracer):
+    """name → list of child span names, from recorded parent ids."""
+    spans = tracer.spans
+    by_id = {s.span_id: s for s in spans}
+    children = {}
+    for s in spans:
+        if s.parent_id is not None and s.parent_id in by_id:
+            children.setdefault(by_id[s.parent_id].name, []).append(s.name)
+    return children
+
+
+class TestTracedCompile:
+    def test_compile_span_tree(self):
+        obs.trace.enable()
+        compiled = compile_source(SOURCE, small_target(stages=3))
+        assert compiled.symbol_values["n"] >= 1
+        children = _span_tree(obs.trace)
+        root_kids = children["compile"]
+        for phase in ("compile.parse", "compile.ir", "compile.bounds",
+                      "compile.ilp_build", "compile.ilp_solve",
+                      "compile.codegen", "compile.validate"):
+            assert phase in root_kids, phase
+        # The solver dispatch nests under the solve phase.
+        assert "ilp.solve" in children["compile.ilp_solve"]
+        obj = chrome_trace(obs.trace)
+        assert validate_chrome_trace(obj) > 0
+
+    def test_compile_metrics_recorded(self):
+        obs.metrics.reset()
+        compile_source(SOURCE, small_target(stages=3))
+        compiles = obs.metrics.get("p4all_compiles_total")
+        assert compiles is not None
+        assert sum(v for _, _, v in compiles.samples()) >= 1
+        solves = obs.metrics.get("p4all_ilp_solves_total")
+        assert solves is not None
+        phases = obs.metrics.get("p4all_compile_phase_seconds")
+        assert phases.snapshot(phase="codegen")["count"] >= 1
+
+    def test_disabled_tracer_records_nothing(self):
+        assert not obs.trace.enabled
+        compile_source(SOURCE, small_target(stages=3),
+                       CompileOptions(backend="greedy"))
+        assert len(obs.trace) == 0
+
+    def test_cached_recompile_marks_span(self):
+        from repro.core.cache import CompileCache
+
+        obs.trace.enable()
+        cache = CompileCache()
+        options = CompileOptions(cache=cache)
+        target = small_target(stages=3)
+        compile_source(SOURCE, target, options)
+        obs.trace.reset()
+        compile_source(SOURCE, target, options)  # layout-tier hit
+        [root] = obs.trace.spans_named("compile")
+        assert root.attrs.get("layout_cached") is True
+
+
+class TestTracedRuntime:
+    def test_elastic_run_produces_nested_timeline(self):
+        from repro.pisa.resources import tofino
+        from repro.runtime import ElasticRuntime, RuntimeConfig
+        from repro.workloads import ChurningZipf
+
+        obs.trace.enable()
+        obs.metrics.reset()
+        target = dataclasses.replace(
+            tofino(), stages=6, memory_bits_per_stage=64 * 1024
+        )
+        cut = dataclasses.replace(target, memory_bits_per_stage=32 * 1024)
+        runtime = ElasticRuntime(
+            target,
+            config=RuntimeConfig(window_packets=500, drift_reconfig=False),
+        )
+        runtime.schedule_target_change(1500, cut)
+        report = runtime.run(ChurningZipf(800, alpha=1.3, seed=3), 3000)
+        assert report.packets == 3000
+
+        children = _span_tree(obs.trace)
+        assert "plan" in children["runtime.init"]
+        assert "runtime.window" in children["runtime.run"]
+        assert "runtime.reconfigure" in children["runtime.run"]
+        rec_kids = children["runtime.reconfigure"]
+        assert "plan" in rec_kids
+        assert "runtime.migrate" in rec_kids
+        assert "runtime.validate_swap" in rec_kids
+
+        # Bridged telemetry landed inside spans, not in a parallel stream.
+        [rec] = obs.trace.spans_named("runtime.reconfigure")
+        kinds = {e.name for e in rec.events}
+        assert "telemetry.reconfig_triggered" in kinds
+        assert "telemetry.swap_committed" in kinds
+
+        obj = chrome_trace(obs.trace)
+        assert validate_chrome_trace(obj) > 0
+        rendered = summarize_chrome_trace(obj)
+        assert "runtime.run" in rendered
+
+        # Metrics cover the control loop and the data path.
+        assert obs.metrics.get("p4all_reconfigs_total").value(
+            cause="target-change", outcome="committed") == 1
+        windows = obs.metrics.get("p4all_windows_total").value()
+        assert windows == report.packets // 500
+        assert obs.metrics.get("p4all_packets_total") is not None
+
+
+class TestCli:
+    def test_compile_trace_and_metrics_flags(self, tmp_path):
+        from repro.cli import main
+        from repro.obs import (
+            validate_chrome_trace_file,
+            validate_prometheus_file,
+        )
+
+        prog = tmp_path / "prog.p4all"
+        prog.write_text(SOURCE)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        rc = main([
+            "compile", str(prog), "--target", "small",
+            "--backend", "greedy",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+            "-o", str(tmp_path / "out.p4"),
+        ])
+        assert rc == 0
+        assert validate_chrome_trace_file(trace_path) > 0
+        assert validate_prometheus_file(metrics_path) > 0
+        names = {e["name"]
+                 for e in json.loads(trace_path.read_text())["traceEvents"]}
+        assert "compile" in names
+        # The CLI exporter disables the tracer again afterwards.
+        assert not obs.trace.enabled
+
+    def test_obs_summarizes_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        prog = tmp_path / "prog.p4all"
+        prog.write_text(SOURCE)
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        assert main([
+            "compile", str(prog), "--target", "small",
+            "--backend", "greedy",
+            "--trace", str(trace_path), "--metrics", str(metrics_path),
+            "-o", str(tmp_path / "out.p4"),
+        ]) == 0
+        capsys.readouterr()
+        rc = main(["obs", str(trace_path), "--metrics", str(metrics_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "slowest root span" in out
+        assert "compile" in out
+        assert "metric families" in out
+
+    def test_obs_without_arguments_errors(self, capsys):
+        from repro.cli import main
+
+        assert main(["obs"]) == 2
+        assert "nothing to summarize" in capsys.readouterr().err

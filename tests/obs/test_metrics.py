@@ -1,0 +1,148 @@
+"""Metrics registry tests: instruments, labels, Prometheus rendering."""
+
+import math
+import threading
+
+import pytest
+
+from repro.obs import MetricError, MetricsRegistry
+from repro.obs.export import validate_prometheus_text
+
+
+@pytest.fixture()
+def registry():
+    return MetricsRegistry()
+
+
+class TestRegistration:
+    def test_reregistration_returns_same_object(self, registry):
+        a = registry.counter("c_total", help="x", labels=("k",))
+        b = registry.counter("c_total", labels=("k",))
+        assert a is b
+        assert len(registry) == 1
+
+    def test_conflicting_kind_raises(self, registry):
+        registry.counter("m")
+        with pytest.raises(MetricError):
+            registry.gauge("m")
+
+    def test_conflicting_labels_raise(self, registry):
+        registry.counter("m", labels=("a",))
+        with pytest.raises(MetricError):
+            registry.counter("m", labels=("b",))
+
+    def test_invalid_names_raise(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("1bad")
+        with pytest.raises(MetricError):
+            registry.counter("ok", labels=("bad-label",))
+
+    def test_reset_forgets_instruments(self, registry):
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.get("c") is None
+        # Re-registering after reset starts from zero.
+        assert registry.counter("c").value() == 0
+
+
+class TestCounter:
+    def test_inc_and_value(self, registry):
+        c = registry.counter("hits_total", labels=("tier",))
+        c.inc(tier="frontend")
+        c.inc(5, tier="frontend")
+        c.inc(tier="layout")
+        assert c.value(tier="frontend") == 6
+        assert c.value(tier="layout") == 1
+        assert c.value(tier="missing") == 0
+
+    def test_negative_inc_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.counter("c").inc(-1)
+
+    def test_wrong_label_set_rejected(self, registry):
+        c = registry.counter("c", labels=("a",))
+        with pytest.raises(MetricError):
+            c.inc()
+        with pytest.raises(MetricError):
+            c.inc(a=1, b=2)
+
+
+class TestGauge:
+    def test_set_inc_dec(self, registry):
+        g = registry.gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value() == 7
+
+
+class TestHistogram:
+    def test_cumulative_buckets(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["counts"] == [1, 3, 4]  # cumulative per bound
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(56.05)
+
+    def test_samples_include_inf_bucket_sum_count(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(1.0,), labels=("op",))
+        h.observe(0.5, op="solve")
+        h.observe(2.0, op="solve")
+        rows = {name + labels: value for name, labels, value in h.samples()}
+        assert rows['lat_seconds_bucket{op="solve",le="1"}'] == 1
+        assert rows['lat_seconds_bucket{op="solve",le="+Inf"}'] == 2
+        assert rows['lat_seconds_sum{op="solve"}'] == 2.5
+        assert rows['lat_seconds_count{op="solve"}'] == 2
+
+    def test_empty_buckets_rejected(self, registry):
+        with pytest.raises(MetricError):
+            registry.histogram("h", buckets=())
+
+
+class TestPrometheusRendering:
+    def test_rendered_text_passes_validator(self, registry):
+        registry.counter("c_total", help="a counter", labels=("k",)).inc(k="v")
+        registry.gauge("g", help="a gauge").set(1.5)
+        registry.histogram("h_seconds", help="a histogram").observe(0.2)
+        text = registry.to_prometheus()
+        assert validate_prometheus_text(text) > 0
+        assert "# TYPE c_total counter" in text
+        assert "# HELP c_total a counter" in text
+        assert 'c_total{k="v"} 1' in text
+
+    def test_label_values_are_escaped(self, registry):
+        registry.counter("c", labels=("k",)).inc(k='with "quotes"\nand newline')
+        text = registry.to_prometheus()
+        assert validate_prometheus_text(text) > 0
+        assert r'\"quotes\"' in text
+        assert "\\n" in text
+
+    def test_infinity_renders_as_inf(self):
+        from repro.obs.metrics import _format_value
+
+        assert _format_value(math.inf) == "+Inf"
+        assert _format_value(-math.inf) == "-Inf"
+        assert _format_value(3.0) == "3"
+        assert _format_value(0.25) == "0.25"
+
+    def test_empty_registry_renders_empty(self, registry):
+        assert registry.to_prometheus() == ""
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self, registry):
+        c = registry.counter("c_total")
+
+        def work():
+            for _ in range(1000):
+                c.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value() == 4000

@@ -1,0 +1,154 @@
+"""Tracer/span behavior tests."""
+
+import threading
+
+import pytest
+
+from repro.obs import NULL_SPAN, Tracer
+
+
+class TestDisabledTracer:
+    def test_disabled_span_is_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("x", attr=1)
+        assert span is NULL_SPAN
+        assert tracer.span("y") is span  # no per-call allocation
+
+    def test_null_span_is_inert(self):
+        with NULL_SPAN as span:
+            span.set_attr("a", 1)
+            span.set_attrs(b=2)
+            span.event("tick")
+        assert not NULL_SPAN
+
+    def test_disabled_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        with tracer.span("x"):
+            tracer.event("tick")
+        assert len(tracer) == 0
+        assert tracer.orphan_events == []
+        assert tracer.current_span() is None
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE", "1")
+        assert Tracer().enabled
+        monkeypatch.setenv("REPRO_TRACE", "0")
+        assert not Tracer().enabled
+        monkeypatch.delenv("REPRO_TRACE")
+        assert not Tracer().enabled
+
+
+class TestSpans:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert tracer.current_span() is inner
+            assert tracer.current_span() is outer
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # Children complete (and record) before parents.
+        assert [s.name for s in tracer.spans] == ["inner", "outer"]
+
+    def test_timing_is_monotone(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as span:
+            sum(range(1000))
+        assert span.end >= span.start >= 0.0
+        assert span.duration == span.end - span.start
+
+    def test_attrs_and_events(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a", x=1) as span:
+            span.set_attr("y", 2)
+            span.set_attrs(z=3, x=9)
+            span.event("tick", n=1)
+        assert span.attrs == {"x": 9, "y": 2, "z": 3}
+        assert [e.name for e in span.events] == ["tick"]
+        assert span.events[0].attrs == {"n": 1}
+
+    def test_exception_annotates_and_propagates(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("fails"):
+                raise ValueError("boom")
+        [span] = tracer.spans
+        assert span.attrs["error"] == "ValueError: boom"
+
+    def test_tracer_event_attaches_to_active_span(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a") as span:
+            tracer.event("inside", k=1)
+        tracer.event("outside")
+        assert [e.name for e in span.events] == ["inside"]
+        assert [e.name for e in tracer.orphan_events] == ["outside"]
+
+    def test_spans_named(self):
+        tracer = Tracer(enabled=True)
+        for _ in range(3):
+            with tracer.span("x"):
+                pass
+        with tracer.span("y"):
+            pass
+        assert len(tracer.spans_named("x")) == 3
+        assert len(tracer.spans_named("missing")) == 0
+
+    def test_reset_mid_span_is_tolerated(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            tracer.reset()
+        # The span finished after the reset; it records without error
+        # and the stack is consistent for the next span.
+        with tracer.span("next") as span:
+            pass
+        assert span.parent_id is None
+
+    def test_enable_resets_by_default(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("old"):
+            pass
+        tracer.enable()
+        assert len(tracer) == 0
+        tracer2 = Tracer(enabled=True)
+        with tracer2.span("kept"):
+            pass
+        tracer2.enable(reset=False)
+        assert len(tracer2) == 1
+
+
+class TestThreading:
+    def test_worker_thread_spans_are_their_own_roots(self):
+        tracer = Tracer(enabled=True)
+        done = threading.Event()
+
+        def work():
+            with tracer.span("worker"):
+                pass
+            done.set()
+
+        with tracer.span("main"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        assert done.is_set()
+        worker = tracer.spans_named("worker")[0]
+        main = tracer.spans_named("main")[0]
+        assert worker.parent_id is None  # not parented across threads
+        assert worker.thread_id != main.thread_id
+
+    def test_concurrent_spans_all_recorded(self):
+        tracer = Tracer(enabled=True)
+
+        def work(i):
+            for _ in range(50):
+                with tracer.span(f"t{i}"):
+                    pass
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(tracer) == 200
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)

@@ -1,0 +1,82 @@
+"""Tests for the :func:`repro.profiling.profiled` context manager."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.profiling import profiled
+
+
+def _busy_work() -> int:
+    return sum(i * i for i in range(2000))
+
+
+class TestNoopPath:
+    def test_none_path_yields_none(self):
+        with profiled(None) as profiler:
+            assert profiler is None
+            _busy_work()
+
+    def test_none_path_writes_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with profiled(None):
+            _busy_work()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestStatsFile:
+    def test_writes_stats_file(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with profiled(out) as profiler:
+            assert profiler is not None
+            _busy_work()
+        text = out.read_text()
+        assert "cumulative" in text
+        assert "_busy_work" in text
+        # The callers section rides along after the main table.
+        assert "Ordered by" in text
+
+    def test_accepts_string_path(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with profiled(str(out)):
+            _busy_work()
+        assert out.exists()
+
+    def test_creates_parent_directories(self, tmp_path):
+        out = tmp_path / "deep" / "nested" / "profile.txt"
+        with profiled(out):
+            _busy_work()
+        assert out.exists()
+
+    def test_bare_filename_in_cwd(self, tmp_path, monkeypatch):
+        # A path with no directory part must not trip the mkdir logic.
+        monkeypatch.chdir(tmp_path)
+        with profiled("profile.txt"):
+            _busy_work()
+        assert (tmp_path / "profile.txt").exists()
+
+    def test_writes_even_when_body_raises(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with pytest.raises(RuntimeError):
+            with profiled(out):
+                _busy_work()
+                raise RuntimeError("boom")
+        assert "_busy_work" in out.read_text()
+
+
+class TestSortAndLimit:
+    def test_sort_argument_controls_ordering(self, tmp_path):
+        out = tmp_path / "profile.txt"
+        with profiled(out, sort="ncalls"):
+            _busy_work()
+        assert "call count" in out.read_text()
+
+    def test_limit_caps_rows(self, tmp_path):
+        wide = tmp_path / "wide.txt"
+        narrow = tmp_path / "narrow.txt"
+        with profiled(wide, limit=60):
+            _busy_work()
+        with profiled(narrow, limit=1):
+            _busy_work()
+        assert "due to restriction <1>" in narrow.read_text()
+        assert len(narrow.read_text()) < len(wide.read_text())
