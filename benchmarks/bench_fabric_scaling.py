@@ -1,0 +1,101 @@
+"""Fabric fleet — multi-switch scaling and live-migration downtime.
+
+Benchmarks the fleet experiment across 1/2/4/8-switch fabrics and emits
+``BENCH_fabric.json`` with the headline numbers:
+
+* per-fleet-size aggregate pkt/s (makespan-modeled: a window's wall
+  time is its slowest switch, since real switches are independent
+  hardware — the serial rate is reported alongside for audit);
+* the 4-switch speedup over a single switch (acceptance: >= 3x; the
+  hottest shard bounds the makespan, so perfect 4x is impossible);
+* live migration of the hottest switch to a warm standby: logical key
+  loss (hard gate: must be zero), downtime in buffered packets, and the
+  post-migration steady hit rate vs pre-migration;
+* layout-cache hits per install — the marginal switch's compile is
+  served from the shared cache, so only the first switch pays the ILP.
+"""
+
+import json
+from pathlib import Path
+
+from repro.eval import FleetScenario, run_fleet
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_fabric.json"
+
+SCENARIO = FleetScenario(fleet_sizes=(1, 2, 4, 8))
+
+
+def _run():
+    return run_fleet(SCENARIO)
+
+
+def test_fabric_scaling(benchmark):
+    outcome = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print()
+    print(outcome.format())
+
+    by_size = {p.switches: p for p in outcome.scale}
+    assert set(by_size) == {1, 2, 4, 8}
+
+    # Acceptance: a 4-switch fabric sustains at least 3x the
+    # single-switch throughput on the Zipf workload.
+    assert by_size[4].speedup >= 3.0
+
+    # Scaling is monotone and the marginal switch compiled for free
+    # (n-1 layout-cache hits per install).
+    assert by_size[2].speedup > 1.0
+    assert by_size[8].speedup > by_size[4].speedup
+    for n, point in by_size.items():
+        assert point.layout_cache_hits >= n - 1
+
+    # Hard gate: the live migration lost no logical keys — every cached
+    # entry re-admitted, every buffered in-flight packet replayed.
+    mig = outcome.migration
+    assert mig["committed"], mig["error"]
+    assert mig["kv_dropped"] == 0
+    assert mig["kv_migrated"] == mig["kv_entries_old"] > 0
+    assert mig["replayed_packets"] == mig["downtime_packets"]
+    assert mig["dropped_packets"] == 0
+
+    # Downtime is bounded by one window's worth of the moving shard.
+    assert 0 < mig["downtime_packets"] <= SCENARIO.window_packets
+
+    payload = {
+        "scenario": {
+            "fleet_sizes": list(SCENARIO.fleet_sizes),
+            "packets": SCENARIO.packets,
+            "window_packets": SCENARIO.window_packets,
+            "universe": SCENARIO.universe,
+            "alpha": SCENARIO.alpha,
+            "vnodes": SCENARIO.vnodes,
+            "migrate_at": SCENARIO.migrate_at,
+        },
+        "throughput_model": "makespan",
+        "scaling": {
+            str(n): {
+                "aggregate_pkts_per_sec": p.aggregate_pkts_per_sec,
+                "serial_pkts_per_sec": p.serial_pkts_per_sec,
+                "speedup": p.speedup,
+                "hit_rate": p.hit_rate,
+                "layout_cache_hits": p.layout_cache_hits,
+            }
+            for n, p in sorted(by_size.items())
+        },
+        "speedup_4x": by_size[4].speedup,
+        "migration": {
+            "src": mig["src"],
+            "dst": mig["dst"],
+            "committed": mig["committed"],
+            "downtime_packets": mig["downtime_packets"],
+            "replayed_packets": mig["replayed_packets"],
+            "kv_entries_old": mig["kv_entries_old"],
+            "kv_migrated": mig["kv_migrated"],
+            "kv_dropped": mig["kv_dropped"],
+            "moved_fraction": mig["moved_fraction"],
+            "seconds": mig["seconds"],
+            "pre_rate": mig["pre_rate"],
+            "post_rate": mig["post_rate"],
+        },
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {BENCH_JSON}")

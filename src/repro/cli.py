@@ -8,6 +8,8 @@ Subcommands::
     p4all bounds  prog.p4all --target tofino     # unroll bounds only
     p4all graph   prog.p4all                     # dependency graph (DOT)
     p4all run     [--packets N] [--cut-at N] [--engine E] [--profile]
+    p4all fabric  [--switches N] [--migrate-at N] [--cut-at N]
+                                                 # multi-switch fleet
     p4all targets                                # list target specs
     p4all library [name]                         # dump library module source
     p4all obs trace.json [--metrics out.prom]    # summarize observability
@@ -295,6 +297,77 @@ def _run_body(args) -> int:
     return 0
 
 
+def _cmd_fabric(args) -> int:
+    return _with_obs(args, _fabric_body)
+
+
+def _fabric_body(args) -> int:
+    import dataclasses
+    import json
+
+    from .fabric import FabricTopology, FleetConfig, FleetController
+    from .runtime import TelemetryBus
+    from .workloads import ZipfGenerator
+
+    target = _resolve_target(args)
+    if args.topology == "leaf-spine":
+        fabric = FabricTopology.leaf_spine(
+            leaves=args.switches, spines=args.spines, target=target,
+            standby=args.standby,
+        )
+    else:
+        fabric = FabricTopology.flat(args.switches, target,
+                                     standby=args.standby)
+    print(fabric.describe(), file=sys.stderr)
+    telemetry = TelemetryBus(sink=args.events)
+    config = FleetConfig(
+        window_packets=args.window,
+        vnodes=args.vnodes,
+        hot_threshold=args.hot_threshold,
+        skew_threshold=args.skew_threshold,
+        max_move_fraction=args.max_move,
+        engine=args.engine,
+        parallel=args.parallel,
+    )
+    controller = FleetController(
+        fabric, options=_compile_options(args), config=config,
+        telemetry=telemetry,
+    )
+    if args.cut_at is not None:
+        cut_switch = args.cut_switch or fabric.serving()[0]
+        cut_bits = (args.cut_memory if args.cut_memory is not None
+                    else target.memory_bits_per_stage // 2)
+        controller.schedule_cut(
+            args.cut_at,
+            cut_switch,
+            dataclasses.replace(target, memory_bits_per_stage=cut_bits),
+        )
+        print(f"scheduled memory cut on {cut_switch} to {cut_bits} "
+              f"bits/stage at packet {args.cut_at}", file=sys.stderr)
+    if args.migrate_at is not None:
+        migrate_to = args.migrate_to or next(iter(fabric.standby()), None)
+        if migrate_to is None:
+            print("error: --migrate-at needs --migrate-to or a standby "
+                  "switch (--standby N)", file=sys.stderr)
+            return 2
+        controller.schedule_migration(args.migrate_at, args.migrate_src,
+                                      migrate_to)
+        print(f"scheduled migration {args.migrate_src} -> "
+              f"{migrate_to} at packet {args.migrate_at}",
+              file=sys.stderr)
+    print(f"compiling NetCache fleet for {target.describe()}",
+          file=sys.stderr)
+    stream = ZipfGenerator(args.universe, alpha=args.alpha, seed=args.seed)
+    with controller:
+        report = controller.run(stream, packets=args.packets)
+    print(report.format())
+    telemetry.close()
+    if args.json:
+        Path(args.json).write_text(json.dumps(report.to_dict(), indent=2))
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
 def _cmd_obs(args) -> int:
     from .obs.summary import summarize_prometheus_file, summarize_trace_file
 
@@ -458,6 +531,77 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_args(p_run)
     _add_obs_args(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_fabric = sub.add_parser(
+        "fabric",
+        help="drive a multi-switch fabric: NetCache sharded over a "
+             "consistent-hash ring of PISA switches, with optional "
+             "mid-run per-switch memory cuts and live app migration",
+    )
+    p_fabric.add_argument("--switches", type=int, default=4,
+                          help="serving switches (default: 4)")
+    p_fabric.add_argument("--standby", type=int, default=0,
+                          help="warm standby switches (default: 0)")
+    p_fabric.add_argument("--topology", default="flat",
+                          choices=["flat", "leaf-spine"],
+                          help="fabric shape (default: flat, behind one "
+                               "load balancer)")
+    p_fabric.add_argument("--spines", type=int, default=2,
+                          help="spine switches for --topology leaf-spine "
+                               "(default: 2)")
+    p_fabric.add_argument("--packets", type=int, default=16_000,
+                          help="total packets to shard (default: 16000)")
+    p_fabric.add_argument("--window", type=int, default=2000,
+                          help="sharding window in packets (default: 2000)")
+    p_fabric.add_argument("--universe", type=int, default=10_000,
+                          help="key universe size (default: 10000)")
+    p_fabric.add_argument("--alpha", type=float, default=0.9,
+                          help="Zipf skew (default: 0.9)")
+    p_fabric.add_argument("--seed", type=int, default=42,
+                          help="workload seed (default: 42)")
+    p_fabric.add_argument("--vnodes", type=int, default=64,
+                          help="virtual nodes per switch on the hash ring "
+                               "(default: 64)")
+    p_fabric.add_argument("--hot-threshold", type=int, default=4,
+                          help="sketch estimate that promotes a key "
+                               "(default: 4)")
+    p_fabric.add_argument("--skew-threshold", type=float, default=0.0,
+                          help="max/mean window-share ratio that triggers "
+                               "an arc rebalance (0 disables; default: 0)")
+    p_fabric.add_argument("--max-move", type=float, default=0.2,
+                          help="moved-keyspace bound per rebalance "
+                               "(default: 0.2)")
+    p_fabric.add_argument("--cut-at", type=int, default=None,
+                          help="packet index of a per-switch memory cut")
+    p_fabric.add_argument("--cut-switch", default=None,
+                          help="switch to cut (default: first serving)")
+    p_fabric.add_argument("--cut-memory", type=int, default=None,
+                          metavar="BITS",
+                          help="per-stage memory after the cut "
+                               "(default: half the target's)")
+    p_fabric.add_argument("--migrate-at", type=int, default=None,
+                          help="packet index of a live app migration")
+    p_fabric.add_argument("--migrate-src", default="hottest",
+                          help="switch to drain, or 'hottest' "
+                               "(default: hottest)")
+    p_fabric.add_argument("--migrate-to", default=None,
+                          help="destination switch (default: first standby)")
+    p_fabric.add_argument("--parallel", action="store_true",
+                          help="run each switch in its own worker process "
+                               "(real multi-core scaling; no cuts or "
+                               "migrations in this mode)")
+    p_fabric.add_argument("--events", default=None, metavar="PATH",
+                          help="stream telemetry events to a JSONL file")
+    p_fabric.add_argument("--json", default=None, metavar="PATH",
+                          help="write the fleet report as JSON")
+    p_fabric.add_argument("--engine", default=None,
+                          choices=["compiled", "interp"],
+                          help="pipeline execution engine (default: "
+                               "compiled, or REPRO_PISA_ENGINE)")
+    _add_target_arg(p_fabric)
+    _add_solver_args(p_fabric)
+    _add_obs_args(p_fabric)
+    p_fabric.set_defaults(func=_cmd_fabric)
 
     p_obs = sub.add_parser(
         "obs",

@@ -36,6 +36,7 @@ from .fig13_utility import (
     UtilityOutcome,
     run_utility_comparison,
 )
+from .fleet import FleetOutcome, FleetScenario, ScalePoint, run_fleet
 from .runtime_elastic import (
     RuntimeComparison,
     RuntimeScenario,
@@ -79,5 +80,9 @@ __all__ = [
     "RuntimeScenario",
     "ScenarioOutcome",
     "run_elastic_runtime",
+    "FleetOutcome",
+    "FleetScenario",
+    "ScalePoint",
+    "run_fleet",
     "render_table",
 ]

@@ -65,6 +65,12 @@ def _runtime():
     return run_elastic_runtime().format()
 
 
+def _fleet():
+    from .fleet import run_fleet
+
+    return run_fleet().format()
+
+
 def _ablations():
     from ..apps import netcache_source
     from ..pisa.resources import small_target, tofino
@@ -97,6 +103,8 @@ EXPERIMENTS = {
     "fig12": ("Figure 12 — memory elasticity", _fig12),
     "fig13": ("Figure 13 — utility choice", _fig13),
     "runtime": ("Elastic runtime — online memory-cut recovery", _runtime),
+    "fleet": ("Fabric fleet — multi-switch scaling and live migration",
+              _fleet),
     "ablations": ("Design-choice ablations", _ablations),
 }
 

@@ -1,0 +1,182 @@
+"""Fleet elasticity — multi-switch scaling and live migration.
+
+The single-switch runtime experiment closes the elasticity loop on one
+box; this one spreads the same NetCache program over a fabric of PISA
+switches and measures the two fleet-level claims:
+
+* **scaling** — aggregate served throughput as the fleet grows from 1
+  to ``max(fleet_sizes)`` switches, under one consistent-hash ring.
+  Aggregate rates are *makespan-modeled*: a window's wall time is its
+  slowest switch, because real switches are independent hardware even
+  though the simulator executes them serially on one core (see
+  docs/FABRIC.md). ``serial`` rates — total busy time — are reported
+  alongside so the modeling is auditable. With a mild Zipf skew the
+  4-switch fleet clears 3x the single switch; perfect 4x is impossible
+  because the hottest shard bounds the makespan;
+* **migration** — mid-run, the hottest switch live-migrates to a warm
+  standby: state snapshot, fold-restore, ring shift, canary. The
+  headline numbers are logical key loss (must be zero), downtime in
+  buffered packets, and the post-migration steady hit rate relative to
+  pre-migration.
+
+Every fleet install shares one compile cache, so the experiment also
+reports layout-cache hits — the marginal switch compiles for free.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ..pisa.resources import TargetSpec, tofino
+from ..workloads.zipf import ZipfGenerator
+from .tables import render_table
+
+__all__ = ["FleetScenario", "ScalePoint", "FleetOutcome", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class FleetScenario:
+    """One fleet experiment: scale out, then migrate under load."""
+
+    fleet_sizes: tuple[int, ...] = (1, 2, 4)
+    stages: int = 6
+    memory_bits_per_stage: int = 64 * 1024
+    packets: int = 12_000
+    window_packets: int = 2_000
+    universe: int = 10_000
+    alpha: float = 0.9
+    vnodes: int = 64
+    seed: int = 17
+    migrate_at: int = 6_000
+
+    def target(self) -> TargetSpec:
+        return dataclasses.replace(
+            tofino(), stages=self.stages,
+            memory_bits_per_stage=self.memory_bits_per_stage,
+        )
+
+    def stream(self) -> ZipfGenerator:
+        return ZipfGenerator(self.universe, alpha=self.alpha,
+                             seed=self.seed)
+
+
+@dataclass
+class ScalePoint:
+    """Throughput of one fleet size."""
+
+    switches: int
+    aggregate_pkts_per_sec: float
+    serial_pkts_per_sec: float
+    hit_rate: float
+    speedup: float = 1.0
+    layout_cache_hits: int = 0
+
+
+@dataclass
+class FleetOutcome:
+    """Everything the fleet experiment measured."""
+
+    scenario: FleetScenario
+    scale: list[ScalePoint] = field(default_factory=list)
+    migration: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        rows = [
+            [p.switches,
+             f"{p.aggregate_pkts_per_sec:,.0f}",
+             f"{p.serial_pkts_per_sec:,.0f}",
+             f"{p.speedup:.2f}x",
+             f"{p.hit_rate:.3f}",
+             p.layout_cache_hits]
+            for p in self.scale
+        ]
+        parts = [render_table(
+            ["switches", "aggregate pkt/s", "serial pkt/s", "speedup",
+             "hit rate", "layout hits"],
+            rows,
+            title="Fleet scaling (aggregate = makespan-modeled; "
+                  "speedup vs 1 switch)",
+        )]
+        m = self.migration
+        if m:
+            parts.append(
+                "Live migration ({src} -> {dst} @pkt {at}): {outcome}, "
+                "{migrated}/{entries} entries, {downtime} pkts downtime, "
+                "hit rate {pre:.3f} -> {post:.3f}".format(
+                    src=m["src"], dst=m["dst"], at=m["packet_index"],
+                    outcome="committed" if m["committed"] else "ROLLED BACK",
+                    migrated=m["kv_migrated"], entries=m["kv_entries_old"],
+                    downtime=m["downtime_packets"],
+                    pre=m["pre_rate"], post=m["post_rate"],
+                )
+            )
+        return "\n\n".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "scale": [dataclasses.asdict(p) for p in self.scale],
+            "migration": dict(self.migration),
+        }
+
+
+def _measure_fleet(scenario: FleetScenario, n: int) -> ScalePoint:
+    from ..core.cache import CompileCache
+    from ..fabric import FabricTopology, FleetConfig, FleetController
+    from ..runtime import TelemetryBus
+
+    cache = CompileCache()
+    fabric = FabricTopology.flat(n, scenario.target())
+    controller = FleetController(
+        fabric,
+        config=FleetConfig(window_packets=scenario.window_packets,
+                           vnodes=scenario.vnodes),
+        telemetry=TelemetryBus(),
+        cache=cache,
+    )
+    report = controller.run(scenario.stream(), scenario.packets)
+    return ScalePoint(
+        switches=n,
+        aggregate_pkts_per_sec=report.aggregate_pkts_per_sec,
+        serial_pkts_per_sec=report.serial_pkts_per_sec,
+        hit_rate=report.hit_rate,
+        layout_cache_hits=cache.snapshot()["layout_hits"],
+    )
+
+
+def _measure_migration(scenario: FleetScenario) -> dict:
+    from ..fabric import FabricTopology, FleetConfig, FleetController
+    from ..runtime import TelemetryBus
+
+    n = max(scenario.fleet_sizes)
+    fabric = FabricTopology.flat(n, scenario.target(), standby=1)
+    controller = FleetController(
+        fabric,
+        config=FleetConfig(window_packets=scenario.window_packets,
+                           vnodes=scenario.vnodes),
+        telemetry=TelemetryBus(),
+    )
+    controller.schedule_migration(scenario.migrate_at, "hottest",
+                                  fabric.standby()[0])
+    report = controller.run(scenario.stream(), scenario.packets)
+    mig = report.migrations[0]
+    migration_window = scenario.migrate_at // scenario.window_packets
+    return {
+        **mig.to_dict(),
+        "pre_rate": report.steady_rate(last=2, before=migration_window),
+        "post_rate": report.steady_rate(last=2),
+        "dropped_packets": report.dropped_packets,
+    }
+
+
+def run_fleet(scenario: FleetScenario | None = None) -> FleetOutcome:
+    scenario = scenario or FleetScenario()
+    outcome = FleetOutcome(scenario=scenario)
+    for n in scenario.fleet_sizes:
+        outcome.scale.append(_measure_fleet(scenario, n))
+    base = outcome.scale[0].aggregate_pkts_per_sec
+    for point in outcome.scale:
+        point.speedup = (point.aggregate_pkts_per_sec / base
+                         if base > 0 else 0.0)
+    outcome.migration = _measure_migration(scenario)
+    return outcome

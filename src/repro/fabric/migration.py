@@ -1,0 +1,240 @@
+"""Live app migration between fabric switches.
+
+Moves a running app's *state and shard* from one switch to another
+without losing logical keys — the fabric analogue of p4containerflow's
+node migration, but for elastic P4All state rather than NAT entries.
+The protocol, driven by :func:`migrate_node`:
+
+1. **drain** — the fleet controller stops routing new keys to ``src``
+   (mid-stream, the run loop buffers the in-flight window's src-owned
+   keys at the ingress; the buffered count is the migration's downtime
+   in packets);
+2. **snapshot** — ``src``'s registers are captured at a quiesce point
+   via the structure-generic
+   :func:`~repro.runtime.migrate.snapshot_registers`;
+3. **copy** — the CMS sketch is fold-restored onto ``dst``
+   *accumulating* onto its existing counts (``dst`` may already serve
+   its own shard), and the cached KV entries re-admit hottest-first by
+   the source sketch's heat estimate;
+4. **shift routes** — the hash ring relabels every ``src`` point to
+   ``dst``: exactly ``src``'s keys move, all to ``dst``, nobody else's
+   placement changes;
+5. **verify** — a canary packet for the hottest migrated key must hit
+   in ``dst``'s cache before the change commits. On any failure the
+   ring and ``dst``'s registers roll back to their pre-migration image
+   and ``src`` keeps serving.
+
+After commit ``src`` is marked ``drained`` (out of the ring, app still
+installed); a ``standby`` destination is promoted to a serving role.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.errors import CompileError
+from ..obs import metrics as obs_metrics
+from ..obs import trace
+from ..pisa import Packet
+from ..runtime.migrate import (
+    migrate_netcache_state,
+    restore_registers,
+    snapshot_registers,
+)
+
+__all__ = ["FabricMigrationReport", "migrate_node"]
+
+
+@dataclass
+class FabricMigrationReport:
+    """One live migration: what moved, how long traffic paused."""
+
+    src: str
+    dst: str
+    committed: bool = False
+    packet_index: int = 0
+    seconds: float = 0.0
+    #: exact keyspace fraction handed over (src's arc share)
+    moved_fraction: float = 0.0
+    #: keys buffered while the shard was in flight (filled by the run
+    #: loop when the migration fires mid-stream)
+    downtime_packets: int = 0
+    #: buffered keys replayed onto the destination after commit
+    replayed_packets: int = 0
+    kv_entries_old: int = 0
+    kv_migrated: int = 0
+    kv_dropped: int = 0
+    cms_rows_migrated: int = 0
+    cms_exact_fold: bool = True
+    cms_mass_old: int = 0
+    cms_mass_new: int = 0
+    canary_key: int | None = None
+    error: str = ""
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def kv_loss_fraction(self) -> float:
+        if self.kv_entries_old == 0:
+            return 0.0
+        return self.kv_dropped / self.kv_entries_old
+
+    def summary(self) -> str:
+        outcome = ("committed" if self.committed
+                   else f"ROLLED BACK ({self.error})")
+        return (
+            f"migration {self.src} → {self.dst} @pkt {self.packet_index}: "
+            f"{outcome}, {self.kv_migrated}/{self.kv_entries_old} entries, "
+            f"{self.moved_fraction:.3f} of keyspace, downtime "
+            f"{self.downtime_packets} pkts in {self.seconds:.3f}s"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "src": self.src,
+            "dst": self.dst,
+            "committed": self.committed,
+            "packet_index": self.packet_index,
+            "seconds": self.seconds,
+            "moved_fraction": self.moved_fraction,
+            "downtime_packets": self.downtime_packets,
+            "replayed_packets": self.replayed_packets,
+            "kv_entries_old": self.kv_entries_old,
+            "kv_migrated": self.kv_migrated,
+            "kv_dropped": self.kv_dropped,
+            "kv_loss_fraction": self.kv_loss_fraction,
+            "cms_rows_migrated": self.cms_rows_migrated,
+            "cms_exact_fold": self.cms_exact_fold,
+            "cms_mass_old": self.cms_mass_old,
+            "cms_mass_new": self.cms_mass_new,
+            "canary_key": self.canary_key,
+            "error": self.error,
+            "notes": list(self.notes),
+        }
+
+
+def _serving_role(topology, dst_node) -> str:
+    """Role a promoted standby takes: match the fabric's serving kind."""
+    for node in topology.switches.values():
+        if node.serving:
+            return node.role
+    return "switch"
+
+
+def migrate_node(controller, src: str, dst: str,
+                 cause: str = "migration",
+                 downtime_packets: int = 0,
+                 replay=None) -> FabricMigrationReport:
+    """Run the drain → snapshot → copy → shift → verify protocol.
+
+    ``controller`` is the owning :class:`~repro.fabric.controller.
+    FleetController`; ``src`` must be on the ring, ``dst`` must have an
+    app installed (serving peer or warm standby). ``downtime_packets``
+    is the number of in-flight keys the run loop buffered for the drain
+    (0 when called between windows); ``replay`` is the run loop's
+    callback that drains that buffer — it runs after the commit/rollback
+    decision but *before* the telemetry event, so the emitted
+    ``replayed_packets`` reflects what actually replayed. Rollback
+    restores the ring and ``dst``'s register image, so a failed
+    migration leaves the fabric exactly as it was.
+    """
+    topology = controller.topology
+    src_node = topology.node(src)
+    dst_node = topology.node(dst)
+    report = FabricMigrationReport(
+        src=src, dst=dst, packet_index=controller.packets_processed,
+        downtime_packets=downtime_packets,
+    )
+    if src not in controller.ring:
+        report.error = f"source {src!r} is not serving (not on the ring)"
+        return _finish(controller, report, cause, replay)
+    if src_node.app is None or dst_node.app is None:
+        report.error = "both switches need an installed app"
+        return _finish(controller, report, cause, replay)
+
+    started = time.perf_counter()
+    old_ring = controller.ring.copy()
+    report.moved_fraction = old_ring.owner_shares().get(src, 0.0)
+    with trace.span("fabric.migrate", src=src, dst=dst,
+                    cause=cause) as span:
+        # Pre-image of the destination, for rollback.
+        dst_rollback = snapshot_registers(dst_node.pipeline)
+        dst_keys_rollback = set(dst_node.app._cached_keys)
+        try:
+            # copy: sketch accumulates onto dst's own counts; KV entries
+            # re-admit hottest-first.
+            mig = migrate_netcache_state(src_node.app, dst_node.app,
+                                         accumulate=True)
+            report.kv_entries_old = mig.kv_entries_old
+            report.kv_migrated = mig.kv_migrated
+            report.kv_dropped = mig.kv_dropped
+            report.cms_rows_migrated = mig.cms_rows_migrated
+            report.cms_exact_fold = mig.cms_exact_fold
+            report.cms_mass_old = mig.cms_mass_old
+            report.cms_mass_new = mig.cms_mass_new
+            report.notes.extend(mig.notes)
+
+            # shift routes: relabel src's arcs to dst.
+            controller.ring.reassign(src, dst)
+
+            # verify: the hottest migrated key must hit on dst before
+            # the handover commits.
+            if controller.config.validate_swap:
+                migrated = (set(src_node.app._cached_keys)
+                            & set(dst_node.app._cached_keys))
+                if migrated:
+                    key = max(migrated, key=src_node.app._cms_estimate)
+                    report.canary_key = key
+                    result = dst_node.app.pipeline.process(
+                        Packet(fields={"req_key": key})
+                    )
+                    if not result.get("meta.kv_hit"):
+                        raise CompileError(
+                            f"canary failed: migrated key {key} missed "
+                            f"on {dst}"
+                        )
+                elif report.kv_entries_old:
+                    raise CompileError(
+                        "canary failed: no migrated entry survived on "
+                        f"{dst}"
+                    )
+
+            # commit: src drains, a standby dst is promoted to serving.
+            src_node.role = "drained"
+            if dst_node.role == "standby":
+                dst_node.role = _serving_role(topology, dst_node)
+            report.committed = True
+        except Exception as exc:
+            controller.ring = old_ring
+            restore_registers(dst_rollback, dst_node.pipeline,
+                              fold=False, accumulate=False)
+            dst_node.app._cached_keys = dst_keys_rollback
+            report.error = str(exc)
+        report.seconds = time.perf_counter() - started
+        span.set_attrs(committed=report.committed,
+                       moved_fraction=report.moved_fraction,
+                       kv_migrated=report.kv_migrated,
+                       error=report.error)
+    return _finish(controller, report, cause, replay)
+
+
+def _finish(controller, report: FabricMigrationReport,
+            cause: str, replay=None) -> FabricMigrationReport:
+    if replay is not None:
+        replay(report)
+    outcome = "committed" if report.committed else "rolled-back"
+    obs_metrics.counter(
+        "p4all_fabric_migrations_total",
+        help="Live app migrations between fabric switches, by outcome.",
+        labels=("outcome",),
+    ).inc(outcome=outcome)
+    if report.committed:
+        obs_metrics.histogram(
+            "p4all_fabric_migration_downtime_packets",
+            help="Packets buffered during live migrations.",
+            buckets=(0, 10, 100, 1000, 10000),
+        ).observe(report.downtime_packets)
+    controller.telemetry.emit(
+        "fabric_migration", cause=cause, **report.to_dict(),
+    )
+    return report

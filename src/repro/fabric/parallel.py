@@ -1,0 +1,179 @@
+"""Process-parallel fabric execution: one worker per switch.
+
+The inline fleet controller executes per-switch pipelines serially and
+*models* fabric parallelism through makespan accounting (a real fabric's
+switches are independent hardware). This module provides the real
+thing for multi-core hosts: each switch's app runs in a forked worker
+process, a window's shards are submitted to all workers before any
+result is collected, and busy time is measured inside each worker — on
+a machine with enough cores, window wall time approaches the makespan
+the inline model reports.
+
+Workers are forked *after* :meth:`~repro.fabric.controller.
+FleetController.install_all`, so each child inherits its switch's
+compiled app by memory image; from then on the worker's state is
+authoritative (the parent's copy is stale). The command protocol over a
+``Pipe`` is deliberately tiny:
+
+* ``("run", keys)`` → ``(packets, hits, busy_seconds)``
+* ``("snapshot",)`` → picklable migration bundle (register snapshot,
+  cached entries, per-key heat) — how a drained switch's state leaves
+  its process;
+* ``("absorb", snapshot, entries, heat)`` → restore/readmit counts —
+  how it enters the destination's;
+* ``("canary", key)`` → whether the key hits in the worker's cache;
+* ``("stop",)`` → worker exits.
+
+Mid-run per-switch *recompilation* and *live migration* are not
+supported in this mode — a compiled program is not shipped between
+processes, and the parent's app copies go stale the moment workers
+fork. The controller raises if either is requested while workers are
+attached; the ``snapshot``/``absorb``/``canary`` ops are the building
+blocks a future worker-side migration would compose. Use inline mode
+(the default) for elasticity experiments; use this mode to measure
+real multi-core scaling of steady-state serving.
+
+Requires the ``fork`` start method (POSIX); :class:`ParallelFleet`
+raises otherwise so callers can fall back to inline execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+
+from ..runtime.migrate import (
+    RegisterSnapshot,
+    readmit_by_heat,
+    restore_registers,
+    snapshot_registers,
+)
+
+__all__ = ["ParallelFleet", "SwitchWorker"]
+
+
+def _worker_main(app, conn) -> None:
+    """Forked per-switch serving loop (runs in the child process)."""
+    while True:
+        try:
+            command = conn.recv()
+        except EOFError:
+            break
+        op = command[0]
+        if op == "run":
+            keys = command[1]
+            t0 = time.perf_counter()
+            stats = app.run_trace(keys)
+            conn.send((stats.packets, stats.hits,
+                       time.perf_counter() - t0))
+        elif op == "snapshot":
+            snap = snapshot_registers(app.pipeline)
+            entries = app.cached_entries()
+            heat = {key: app._cms_estimate(key)
+                    for _row, key, _value in entries}
+            conn.send((snap, entries, heat))
+        elif op == "absorb":
+            snap, entries, heat = command[1], command[2], command[3]
+            restored = restore_registers(snap, app.pipeline,
+                                         families=("cms_sketch",),
+                                         fold=True, accumulate=True)
+            migrated, dropped = readmit_by_heat(
+                ((key, value) for _row, key, value in entries),
+                heat=lambda key: heat.get(key, 0),
+                install=app.install,
+            )
+            conn.send({"cms_rows": restored.migrated,
+                       "cms_exact": restored.exact,
+                       "kv_migrated": migrated, "kv_dropped": dropped})
+        elif op == "canary":
+            from ..pisa import Packet
+
+            result = app.pipeline.process(
+                Packet(fields={"req_key": command[1]})
+            )
+            conn.send(bool(result.get("meta.kv_hit")))
+        elif op == "stop":
+            conn.send(True)
+            break
+        else:  # pragma: no cover - protocol misuse
+            conn.send(RuntimeError(f"unknown worker op {op!r}"))
+    conn.close()
+
+
+class SwitchWorker:
+    """Parent-side handle on one forked switch process."""
+
+    def __init__(self, name: str, app, ctx) -> None:
+        self.name = name
+        self.conn, child = ctx.Pipe()
+        self.process = ctx.Process(
+            target=_worker_main, args=(app, child),
+            name=f"switch-{name}", daemon=True,
+        )
+        self.process.start()
+        child.close()
+
+    def submit(self, *command) -> None:
+        self.conn.send(command)
+
+    def collect(self):
+        result = self.conn.recv()
+        if isinstance(result, Exception):
+            raise result
+        return result
+
+    def call(self, *command):
+        self.submit(*command)
+        return self.collect()
+
+    def stop(self) -> None:
+        if self.process.is_alive():
+            try:
+                self.call("stop")
+            except (BrokenPipeError, EOFError, OSError):
+                pass
+            self.process.join(timeout=5)
+            if self.process.is_alive():
+                self.process.terminate()
+        self.conn.close()
+
+
+class ParallelFleet:
+    """All of a controller's switches, each running in its own process."""
+
+    def __init__(self, controller) -> None:
+        if "fork" not in mp.get_all_start_methods():
+            raise RuntimeError(
+                "parallel fabric execution needs the 'fork' start method"
+            )
+        ctx = mp.get_context("fork")
+        self.workers: dict[str, SwitchWorker] = {}
+        for name in controller._installable():
+            app = controller.topology.node(name).app
+            if app is not None:
+                self.workers[name] = SwitchWorker(name, app, ctx)
+
+    def run_shard(self, name: str, keys) -> tuple[int, int, float]:
+        return self.workers[name].call("run", keys)
+
+    def run_window(self, shards: dict) -> dict[str, tuple[int, int, float]]:
+        """Serve one window's shards concurrently: submit everything,
+        then collect — workers overlap on a multi-core host."""
+        for name, keys in shards.items():
+            self.workers[name].submit("run", keys)
+        return {name: self.workers[name].collect() for name in shards}
+
+    def snapshot(self, name: str) -> tuple[RegisterSnapshot, list, dict]:
+        return self.workers[name].call("snapshot")
+
+    def absorb(self, name: str, snap: RegisterSnapshot,
+               entries: list, heat: dict) -> dict:
+        return self.workers[name].call("absorb", snap, entries, heat)
+
+    def canary(self, name: str, key: int) -> bool:
+        return self.workers[name].call("canary", key)
+
+    def close(self) -> None:
+        for worker in self.workers.values():
+            worker.stop()
+        self.workers.clear()

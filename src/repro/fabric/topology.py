@@ -1,0 +1,244 @@
+"""Typed multi-switch fabric topologies.
+
+A :class:`FabricTopology` is a graph of PISA switches — each node wraps
+a per-switch :class:`~repro.pisa.resources.TargetSpec` and, once the
+fleet controller installs a program, a compiled app with its own
+:class:`~repro.pisa.pipeline.Pipeline` — plus links and simple
+shortest-path routing. Two built-in generators cover the normal P4
+deployment shapes:
+
+* :meth:`FabricTopology.leaf_spine` — ``leaves`` ToR switches, each
+  wired to every one of ``spines`` spine switches (the serving apps run
+  on the leaves; spines forward);
+* :meth:`FabricTopology.flat` — ``n`` serving switches behind one
+  load-balancer ingress node (the p4containerflow shape: a front LB
+  consistent-hashes flows to a flat pool).
+
+Targets may differ per switch — the fabric premise is stretching the
+same symbolic program to whatever resources each box has — and roles
+separate serving switches (shardable, in the hash ring) from forwarding
+(``spine``/``lb``) and warm ``standby`` switches (installed but outside
+the ring until a migration pulls them in).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..pisa.resources import TargetSpec
+
+__all__ = ["Link", "SwitchNode", "FabricTopology", "TopologyError"]
+
+#: Roles whose switches serve sharded traffic (belong in the hash ring).
+SERVING_ROLES = ("leaf", "switch")
+
+
+class TopologyError(Exception):
+    """Malformed fabric graph (unknown node, disconnected, ...)."""
+
+
+@dataclass(frozen=True)
+class Link:
+    """One bidirectional cable between two switches."""
+
+    a: str
+    b: str
+
+    def other(self, node: str) -> str:
+        if node == self.a:
+            return self.b
+        if node == self.b:
+            return self.a
+        raise TopologyError(f"link {self.a}-{self.b} does not touch {node!r}")
+
+
+@dataclass
+class SwitchNode:
+    """One switch: a target spec plus (once installed) a running app.
+
+    ``app`` is whatever the fleet controller installs — for the NetCache
+    fleet a :class:`~repro.apps.netcache.NetCacheApp`, whose
+    ``.pipeline`` exposes the registers migration snapshots.
+    """
+
+    name: str
+    target: TargetSpec
+    role: str = "leaf"
+    app: object | None = None
+
+    @property
+    def serving(self) -> bool:
+        return self.role in SERVING_ROLES
+
+    @property
+    def pipeline(self):
+        return None if self.app is None else self.app.pipeline
+
+    def describe(self) -> str:
+        state = "installed" if self.app is not None else "empty"
+        return (f"{self.name} [{self.role}] on {self.target.name} "
+                f"({self.target.stages} stages, "
+                f"{self.target.memory_bits_per_stage} b/stage) — {state}")
+
+
+class FabricTopology:
+    """Graph of switches with links and shortest-path routing."""
+
+    def __init__(self, ingress: str | None = None):
+        self.switches: dict[str, SwitchNode] = {}
+        self.links: list[Link] = []
+        self._adjacency: dict[str, list[str]] = {}
+        #: where external traffic enters the fabric (route source).
+        self.ingress = ingress
+        self._route_cache: dict[tuple[str, str], tuple[str, ...]] = {}
+
+    # -- construction -----------------------------------------------------------
+    def add_switch(self, name: str, target: TargetSpec,
+                   role: str = "leaf") -> SwitchNode:
+        if name in self.switches:
+            raise TopologyError(f"switch {name!r} added twice")
+        node = SwitchNode(name=name, target=target, role=role)
+        self.switches[name] = node
+        self._adjacency[name] = []
+        self._route_cache.clear()
+        return node
+
+    def add_link(self, a: str, b: str) -> Link:
+        for name in (a, b):
+            if name not in self.switches:
+                raise TopologyError(f"link endpoint {name!r} is not a switch")
+        if a == b:
+            raise TopologyError(f"self-link on {a!r}")
+        link = Link(a, b)
+        self.links.append(link)
+        self._adjacency[a].append(b)
+        self._adjacency[b].append(a)
+        self._route_cache.clear()
+        return link
+
+    # -- queries ----------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.switches)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.switches
+
+    def node(self, name: str) -> SwitchNode:
+        try:
+            return self.switches[name]
+        except KeyError:
+            raise TopologyError(f"no switch named {name!r}") from None
+
+    def neighbors(self, name: str) -> list[str]:
+        self.node(name)
+        return list(self._adjacency[name])
+
+    def serving(self) -> list[str]:
+        """Names of switches that serve sharded traffic, in add order."""
+        return [n for n, node in self.switches.items() if node.serving]
+
+    def standby(self) -> list[str]:
+        return [n for n, node in self.switches.items()
+                if node.role == "standby"]
+
+    def path(self, src: str, dst: str) -> tuple[str, ...]:
+        """Shortest hop path (BFS, deterministic by add order)."""
+        self.node(src), self.node(dst)
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        parents: dict[str, str] = {src: src}
+        queue = deque([src])
+        while queue:
+            here = queue.popleft()
+            if here == dst:
+                break
+            for neighbor in self._adjacency[here]:
+                if neighbor not in parents:
+                    parents[neighbor] = here
+                    queue.append(neighbor)
+        if dst not in parents:
+            raise TopologyError(f"no path from {src!r} to {dst!r}")
+        hops = [dst]
+        while hops[-1] != src:
+            hops.append(parents[hops[-1]])
+        route = tuple(reversed(hops))
+        self._route_cache[(src, dst)] = route
+        return route
+
+    def route(self, dst: str) -> tuple[str, ...]:
+        """Path from the fabric ingress to a serving switch."""
+        if self.ingress is None:
+            raise TopologyError("fabric has no ingress node")
+        return self.path(self.ingress, dst)
+
+    def validate(self) -> None:
+        """Every switch reachable from every other (single fabric)."""
+        if not self.switches:
+            raise TopologyError("empty fabric")
+        start = next(iter(self.switches))
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            here = queue.popleft()
+            for neighbor in self._adjacency[here]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    queue.append(neighbor)
+        unreachable = sorted(set(self.switches) - seen)
+        if unreachable:
+            raise TopologyError(
+                f"disconnected fabric: {', '.join(unreachable)} unreachable"
+            )
+        if self.ingress is not None and self.ingress not in self.switches:
+            raise TopologyError(f"ingress {self.ingress!r} is not a switch")
+
+    def describe(self) -> str:
+        lines = [f"fabric: {len(self.switches)} switches, "
+                 f"{len(self.links)} links, ingress={self.ingress}"]
+        lines += [f"  {node.describe()}" for node in self.switches.values()]
+        return "\n".join(lines)
+
+    # -- generators -------------------------------------------------------------
+    @classmethod
+    def leaf_spine(cls, leaves: int, spines: int, target: TargetSpec,
+                   spine_target: TargetSpec | None = None,
+                   standby: int = 0) -> "FabricTopology":
+        """``leaves`` ToRs fully meshed to ``spines`` spines.
+
+        Serving apps run on the leaves; ``standby`` extra leaves are
+        wired in but start outside the hash ring. The first spine is the
+        fabric ingress.
+        """
+        if leaves <= 0 or spines <= 0:
+            raise TopologyError("leaf_spine needs at least one leaf and spine")
+        fabric = cls(ingress="spine0")
+        for s in range(spines):
+            fabric.add_switch(f"spine{s}", spine_target or target,
+                              role="spine")
+        for l in range(leaves + standby):
+            role = "leaf" if l < leaves else "standby"
+            name = f"leaf{l}"
+            fabric.add_switch(name, target, role=role)
+            for s in range(spines):
+                fabric.add_link(name, f"spine{s}")
+        fabric.validate()
+        return fabric
+
+    @classmethod
+    def flat(cls, n: int, target: TargetSpec,
+             standby: int = 0) -> "FabricTopology":
+        """``n`` serving switches behind one load-balancer ingress
+        (plus ``standby`` warm spares)."""
+        if n <= 0:
+            raise TopologyError("flat fabric needs at least one switch")
+        fabric = cls(ingress="lb0")
+        fabric.add_switch("lb0", target, role="lb")
+        for i in range(n + standby):
+            role = "switch" if i < n else "standby"
+            name = f"s{i}"
+            fabric.add_switch(name, target, role=role)
+            fabric.add_link("lb0", name)
+        fabric.validate()
+        return fabric

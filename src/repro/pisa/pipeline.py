@@ -92,6 +92,8 @@ class Pipeline:
         self._stage_units = self._organize_units()
         self.packets_processed = 0
         self._packet_keys: dict[str, str] = {}
+        self._in_batch = False
+        self._quiesce_pending: list = []
         self.engine = engine if engine is not None else default_engine()
         if self.engine not in ENGINES:
             raise ValueError(f"unknown engine {self.engine!r}; "
@@ -279,6 +281,54 @@ class Pipeline:
             self._hash_fns[seed] = fn
         return fn(*values, width=width)
 
+    # -- quiesce points ---------------------------------------------------------
+    @property
+    def in_batch(self) -> bool:
+        """True while a :meth:`process_many` batch is in flight."""
+        return self._in_batch
+
+    def quiesce(self, fn=None):
+        """Run ``fn()`` at a point where no packet is mid-pipeline.
+
+        Register state is only consistent *between* packets (and between
+        the paired control-plane writes a batch callback makes), so bulk
+        readers — snapshots, migration — must not touch the register
+        file at an arbitrary moment of a running batch. ``quiesce``
+        gives them a defined drain point:
+
+        * with no batch in flight, ``fn`` runs immediately and its
+          result is returned;
+        * called from inside a batch (e.g. a :meth:`process_many`
+          callback), ``fn`` is deferred to the next inter-packet drain
+          boundary — after the current packet *and* its callback have
+          fully completed, before the next packet enters the pipeline —
+          and ``None`` is returned;
+        * ``fn=None`` is a barrier probe: it returns ``True`` when
+          already at a quiesce point, ``False`` when the call was made
+          mid-batch (nothing is scheduled).
+        """
+        if fn is None:
+            return not self._in_batch
+        if not self._in_batch:
+            return fn()
+        self._quiesce_pending.append(fn)
+        return None
+
+    def _drain_quiesce(self) -> None:
+        """Run deferred quiesce callbacks (at an inter-packet boundary).
+
+        The pipeline reads as quiesced while they run: a callback *is*
+        at a drain point, so nested :meth:`quiesce` calls (and snapshot
+        guards keyed on :attr:`in_batch`) execute immediately.
+        """
+        was_in_batch = self._in_batch
+        self._in_batch = False
+        try:
+            while self._quiesce_pending:
+                self._quiesce_pending.pop(0)()
+        finally:
+            self._in_batch = was_in_batch
+
     # -- data plane -------------------------------------------------------------
     def _packet_key(self, name: str) -> str:
         """Resolve a packet field name to its PHV key (cached)."""
@@ -390,9 +440,19 @@ class Pipeline:
         ``p4all_packets_total`` counter; the per-packet :meth:`process`
         path carries no instrumentation at all, so batch size sets the
         observability overhead.
+
+        While the batch runs, :attr:`in_batch` is True and bulk register
+        reads must go through :meth:`quiesce`, whose callbacks drain at
+        the inter-packet boundaries of this loop (after each packet and
+        its callback complete) and once more when the batch ends.
         """
         with trace.span("pisa.batch", engine=self.engine) as span:
-            result = self._process_many(packets, collect, callback)
+            self._in_batch = True
+            try:
+                result = self._process_many(packets, collect, callback)
+            finally:
+                self._in_batch = False
+                self._drain_quiesce()
             count = result if isinstance(result, int) else len(result)
             span.set_attrs(packets=count)
             obs_metrics.counter(
@@ -404,16 +464,26 @@ class Pipeline:
 
     def _process_many(self, packets, collect: bool,
                       callback) -> list[PipelineResult] | int:
+        pending = self._quiesce_pending
         if callback is not None:
             count = 0
             for packet in packets:
                 callback(self.process(packet))
                 count += 1
+                if pending:
+                    self._drain_quiesce()
             return count
         if collect:
-            return [self.process(p) for p in packets]
+            results = []
+            for packet in packets:
+                results.append(self.process(packet))
+                if pending:
+                    self._drain_quiesce()
+            return results
         count = 0
         for packet in packets:
             self.process(packet)
             count += 1
+            if pending:
+                self._drain_quiesce()
         return count

@@ -22,7 +22,17 @@ Modules:
 """
 
 from .controller import ElasticRuntime, ReconfigRecord, RunReport, RuntimeConfig
-from .migrate import MigrationReport, fold_counters, migrate_netcache_state
+from .migrate import (
+    MigrationReport,
+    QuiesceError,
+    RegisterSnapshot,
+    RestoreReport,
+    fold_counters,
+    migrate_netcache_state,
+    readmit_by_heat,
+    restore_registers,
+    snapshot_registers,
+)
 from .monitor import TrafficMonitor, WindowSample
 from .planner import PlanError, PlanResult, ReconfigPlanner
 from .telemetry import TelemetryBus, TelemetryEvent
@@ -33,8 +43,14 @@ __all__ = [
     "RunReport",
     "RuntimeConfig",
     "MigrationReport",
+    "QuiesceError",
+    "RegisterSnapshot",
+    "RestoreReport",
     "fold_counters",
     "migrate_netcache_state",
+    "readmit_by_heat",
+    "restore_registers",
+    "snapshot_registers",
     "TrafficMonitor",
     "WindowSample",
     "PlanError",

@@ -25,4 +25,4 @@ class TestEvalCli:
 
     def test_registry_covers_all_figures(self):
         assert {"fig01", "fig04", "fig07", "fig09", "fig11", "fig12",
-                "fig13", "runtime", "ablations"} == set(EXPERIMENTS)
+                "fig13", "runtime", "fleet", "ablations"} == set(EXPERIMENTS)

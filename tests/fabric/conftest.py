@@ -1,0 +1,35 @@
+"""Fabric test fixtures.
+
+Fleet controllers compile one layout per distinct target; sharing one
+session-scoped :class:`CompileCache` across tests makes every install
+after the first a layout-cache hit, so the fabric suite pays for one
+real solve per target shape.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.cache import CompileCache
+from repro.pisa.resources import tofino
+
+
+@pytest.fixture(scope="session")
+def mini64():
+    """6-stage target with 64KB of register memory per stage."""
+    return dataclasses.replace(
+        tofino(), stages=6, memory_bits_per_stage=64 * 1024
+    )
+
+
+@pytest.fixture(scope="session")
+def mini32(mini64):
+    """The same switch after a 2x memory cut."""
+    return dataclasses.replace(mini64, memory_bits_per_stage=32 * 1024)
+
+
+@pytest.fixture(scope="session")
+def shared_cache():
+    return CompileCache()

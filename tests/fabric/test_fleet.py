@@ -1,0 +1,182 @@
+"""Fleet controller: shared-cache installs, concurrent recompiles,
+sharded serving, scheduled cuts, skew rebalancing."""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import CompileCache
+from repro.fabric import FabricTopology, FleetConfig, FleetController
+from repro.runtime import TelemetryBus
+from repro.workloads import ZipfGenerator
+
+
+def make_controller(mini64, cache, n=3, standby=0, **config):
+    fabric = FabricTopology.flat(n, mini64, standby=standby)
+    return FleetController(
+        fabric,
+        config=FleetConfig(window_packets=500, vnodes=32, **config),
+        telemetry=TelemetryBus(),
+        cache=cache,
+    )
+
+
+class TestInstall:
+    def test_install_all_hits_layout_cache(self, mini64):
+        # 4 identical switches from a cold cache: the leader solves, the
+        # other 3 fan out concurrently and land layout-cache hits.
+        cache = CompileCache()
+        controller = make_controller(mini64, cache, n=4)
+        plans = controller.install_all()
+        assert set(plans) == {"s0", "s1", "s2", "s3"}
+        snap = cache.snapshot()
+        assert snap["layout_misses"] == 1
+        assert snap["layout_hits"] >= 3
+        # Every switch ends up with the same stretched layout.
+        symbols = {frozenset(p.compiled.symbol_values.items())
+                   for p in plans.values()}
+        assert len(symbols) == 1
+
+    def test_install_two_target_groups(self, mini64, mini32):
+        cache = CompileCache()
+        fabric = FabricTopology.flat(2, mini64)
+        fabric.add_switch("little0", mini32, role="switch")
+        fabric.add_link("lb0", "little0")
+        fabric.add_switch("little1", mini32, role="switch")
+        fabric.add_link("lb0", "little1")
+        controller = FleetController(
+            fabric, config=FleetConfig(window_packets=500, vnodes=32),
+            telemetry=TelemetryBus(), cache=cache,
+        )
+        plans = controller.install_all()
+        snap = cache.snapshot()
+        # One real solve per distinct target, cache hits for the rest.
+        assert snap["layout_misses"] == 2
+        assert snap["layout_hits"] >= 2
+        big = plans["s0"].compiled.symbol_values
+        small = plans["little0"].compiled.symbol_values
+        assert big["kv_cols"] > small["kv_cols"]
+
+    def test_install_emits_fleet_configured(self, mini64, shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        controller.install_all()
+        events = controller.telemetry.events_of("fleet_configured")
+        assert len(events) == 1
+        assert events[0].data["switches"] == 3
+
+    def test_empty_fleet_rejected(self, mini64):
+        fabric = FabricTopology()
+        fabric.add_switch("lb0", mini64, role="lb")
+        with pytest.raises(ValueError, match="no serving switches"):
+            FleetController(fabric)
+
+
+class TestServing:
+    def test_run_conserves_packets(self, mini64, shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        stream = ZipfGenerator(universe=3000, alpha=1.1, seed=11)
+        report = controller.run(stream, 3000)
+        assert report.packets == 3000
+        assert report.dropped_packets == 0
+        assert sum(s.packets for s in report.per_switch.values()) == 3000
+        assert len(report.windows) == 6
+        assert 0.0 < report.hit_rate < 1.0
+        assert report.aggregate_pkts_per_sec > report.serial_pkts_per_sec
+
+    def test_sharding_is_disjoint_across_switches(self, mini64,
+                                                  shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        controller.install_all()
+        keys = ZipfGenerator(universe=3000, alpha=1.1, seed=2).sample(1000)
+        shards = controller.ring.shard(keys)
+        assert sum(len(s) for s in shards.values()) == len(keys)
+        # Every key consistently routes to one switch.
+        for name, shard in shards.items():
+            assert all(controller.ring.lookup(int(k)) == name
+                       for k in shard[:20])
+
+    def test_run_continues_previous_report(self, mini64, shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        stream = ZipfGenerator(universe=3000, alpha=1.1, seed=4)
+        report = controller.run(stream, 1000)
+        report = controller.run(stream, 1000, report=report)
+        assert report.packets == 2000
+        assert len(report.windows) == 4
+
+
+class TestReconfiguration:
+    def test_cut_switch_commits_and_migrates(self, mini64, mini32,
+                                             shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        stream = ZipfGenerator(universe=3000, alpha=1.1, seed=7)
+        controller.run(stream, 2000)
+        before_cols = controller.topology.node("s1").app.kv_cols
+        record = controller.cut_switch("s1", mini32)
+        assert record.committed, record.error
+        assert record.migration is not None
+        assert record.migration.kv_migrated > 0
+        after = controller.topology.node("s1").app
+        assert after.kv_cols < before_cols
+        assert controller.topology.node("s1").target == mini32
+        # The other switches kept their layouts.
+        assert controller.topology.node("s0").app.kv_cols == before_cols
+
+    def test_recompile_all_concurrent_uses_cache(self, mini64, mini32):
+        cache = CompileCache()
+        controller = make_controller(mini64, cache, n=4)
+        controller.install_all()
+        before = cache.snapshot()
+        records = controller.recompile_all(mini32, cause="fleet-cut")
+        assert all(r.committed for r in records.values())
+        snap = cache.snapshot()
+        # One new solve for the new target; the other 3 switches hit.
+        assert snap["layout_misses"] == before["layout_misses"] + 1
+        assert snap["layout_hits"] >= before["layout_hits"] + 3
+        events = controller.telemetry.events_of("fleet_recompile")
+        fleet_cut = [e for e in events if e.data["cause"] == "fleet-cut"]
+        assert fleet_cut and fleet_cut[0].data["concurrent"] == 3
+
+    def test_scheduled_cut_fires_in_run(self, mini64, mini32,
+                                        shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        stream = ZipfGenerator(universe=3000, alpha=1.1, seed=9)
+        controller.schedule_cut(1000, "s0", mini32)
+        report = controller.run(stream, 3000)
+        assert len(report.reconfigs) == 1
+        name, record = report.reconfigs[0]
+        assert name == "s0" and record.committed
+        assert record.packet_index == 1000
+        assert report.packets == 3000
+
+    def test_final_symbols_reflect_cut(self, mini64, mini32,
+                                       shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        stream = ZipfGenerator(universe=3000, alpha=1.1, seed=13)
+        controller.schedule_cut(500, "s2", mini32)
+        report = controller.run(stream, 2000)
+        assert (report.final_symbols["s2"]["kv_cols"]
+                < report.final_symbols["s0"]["kv_cols"])
+
+
+class TestRebalance:
+    def test_skew_triggers_bounded_rebalance(self, mini64, shared_cache):
+        controller = make_controller(mini64, shared_cache,
+                                     skew_threshold=1.5,
+                                     max_move_fraction=0.15)
+
+        class Hammer:
+            """Every key identical: one switch takes the whole window."""
+
+            def sample(self, count):
+                return np.full(count, 7, dtype=np.int64)
+
+        report = controller.run(Hammer(), 3000)
+        assert report.rebalances
+        for entry in report.rebalances:
+            assert entry["moved_fraction"] <= 0.15
+            assert entry["load_ratio"] >= 1.5
+
+    def test_no_rebalance_when_disabled(self, mini64, shared_cache):
+        controller = make_controller(mini64, shared_cache)
+        stream = ZipfGenerator(universe=50, alpha=1.4, seed=1)
+        report = controller.run(stream, 2000)
+        assert report.rebalances == []

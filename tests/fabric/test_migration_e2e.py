@@ -1,0 +1,141 @@
+"""Live migration end-to-end: a Zipf workload on a 3-switch fabric, the
+hottest switch migrated to a warm standby mid-run, with zero logical
+key loss and steady hit rate preserved."""
+
+import numpy as np
+import pytest
+
+from repro.fabric import FabricTopology, FleetConfig, FleetController
+from repro.runtime import TelemetryBus
+from repro.workloads import ZipfGenerator
+
+WINDOW = 500
+MIGRATE_AT = 3000
+TOTAL = 6000
+
+
+@pytest.fixture(scope="module")
+def migrated_run(mini64, shared_cache):
+    """One 6000-packet run with a hottest→standby migration at pkt 3000."""
+    fabric = FabricTopology.flat(3, mini64, standby=1)
+    controller = FleetController(
+        fabric,
+        config=FleetConfig(window_packets=WINDOW, vnodes=32),
+        telemetry=TelemetryBus(),
+        cache=shared_cache,
+    )
+    stream = ZipfGenerator(universe=2000, alpha=1.2, seed=21)
+    controller.schedule_migration(MIGRATE_AT, "hottest", "s3")
+    report = controller.run(stream, TOTAL)
+    return controller, report
+
+
+class TestLiveMigration:
+    def test_committed_with_zero_logical_key_loss(self, migrated_run):
+        controller, report = migrated_run
+        assert len(report.migrations) == 1
+        mig = report.migrations[0]
+        assert mig.committed, mig.error
+        # Zero logical loss, twice over: every cached entry re-admitted
+        # on the destination, and every buffered in-flight key replayed.
+        assert mig.kv_dropped == 0
+        assert mig.kv_migrated == mig.kv_entries_old > 0
+        assert mig.replayed_packets == mig.downtime_packets > 0
+        assert report.dropped_packets == 0
+        assert report.packets == TOTAL
+
+    def test_sketch_mass_conserved(self, migrated_run):
+        _controller, report = migrated_run
+        mig = report.migrations[0]
+        assert mig.cms_exact_fold            # same geometry: exact fold
+        assert mig.cms_mass_new >= mig.cms_mass_old > 0
+
+    def test_ring_and_roles_shift(self, migrated_run):
+        controller, report = migrated_run
+        mig = report.migrations[0]
+        assert mig.src not in controller.ring
+        assert mig.dst in controller.ring
+        assert controller.topology.node(mig.src).role == "drained"
+        assert controller.topology.node(mig.dst).role == "switch"
+        # Only the source's keyspace moved.
+        assert 0.0 < mig.moved_fraction < 1.0
+
+    def test_destination_serves_migrated_keys(self, migrated_run):
+        controller, report = migrated_run
+        mig = report.migrations[0]
+        dst_app = controller.topology.node(mig.dst).app
+        migrated = {key for _r, key, _v in dst_app.cached_entries()}
+        assert mig.canary_key in migrated
+        stats = dst_app.run_trace(sorted(migrated))
+        assert stats.hits == len(migrated)
+
+    def test_hit_rate_recovers_within_5_percent(self, migrated_run):
+        """Post-migration steady-state fleet hit rate is within 5% of
+        the pre-migration steady state (warmup windows excluded)."""
+        _controller, report = migrated_run
+        migration_window = MIGRATE_AT // WINDOW
+        pre = report.steady_rate(last=3, before=migration_window)
+        post = report.steady_rate(last=3)
+        assert pre > 0.2                      # the cache actually warmed
+        assert post >= 0.95 * pre
+
+    def test_downtime_bounded_by_one_window_share(self, migrated_run):
+        # The drain buffers at most the source's share of one window.
+        _controller, report = migrated_run
+        mig = report.migrations[0]
+        assert mig.downtime_packets <= WINDOW
+
+    def test_migration_telemetry_emitted(self, migrated_run):
+        controller, report = migrated_run
+        events = controller.telemetry.events_of("fabric_migration")
+        assert len(events) == 1
+        data = events[0].data
+        assert data["committed"] is True
+        assert data["downtime_packets"] == report.migrations[0].downtime_packets
+
+
+class TestMigrationRollback:
+    def test_failed_canary_rolls_back(self, mini64, shared_cache,
+                                      monkeypatch):
+        fabric = FabricTopology.flat(2, mini64, standby=1)
+        controller = FleetController(
+            fabric,
+            config=FleetConfig(window_packets=WINDOW, vnodes=32),
+            telemetry=TelemetryBus(),
+            cache=shared_cache,
+        )
+        controller.install_all()
+        stream = ZipfGenerator(universe=1000, alpha=1.2, seed=5)
+        controller.run(stream, 2000)
+        ring_before = controller.ring.digest()
+        dst_app = controller.topology.node("s2").app
+        sketch_before = [
+            dst_app.pipeline.registers.get(f"cms_sketch[{r}]").dump().copy()
+            for r in range(dst_app.cms_rows)
+        ]
+        # Sabotage the destination: installs fail, so the canary must.
+        monkeypatch.setattr(dst_app, "install",
+                            lambda _key, _value: False)
+        mig = controller.migrate("s0", "s2")
+        assert not mig.committed
+        assert "canary" in mig.error
+        # The fabric is exactly as it was: ring, roles, registers.
+        assert controller.ring.digest() == ring_before
+        assert controller.topology.node("s0").role == "switch"
+        assert controller.topology.node("s2").role == "standby"
+        for row, dump in enumerate(sketch_before):
+            now = dst_app.pipeline.registers.get(
+                f"cms_sketch[{row}]").dump()
+            assert np.array_equal(now, dump)
+
+    def test_migrating_non_serving_switch_fails_cleanly(self, mini64,
+                                                        shared_cache):
+        fabric = FabricTopology.flat(2, mini64, standby=1)
+        controller = FleetController(
+            fabric, config=FleetConfig(window_packets=WINDOW, vnodes=32),
+            telemetry=TelemetryBus(), cache=shared_cache,
+        )
+        controller.install_all()
+        mig = controller.migrate("s2", "s0")   # standby is not on the ring
+        assert not mig.committed
+        assert "not serving" in mig.error

@@ -1,0 +1,105 @@
+"""Fabric graph semantics: construction, roles, routing, generators."""
+
+import pytest
+
+from repro.fabric import FabricTopology, TopologyError
+
+
+class TestConstruction:
+    def test_duplicate_switch_rejected(self, mini64):
+        fabric = FabricTopology()
+        fabric.add_switch("s0", mini64)
+        with pytest.raises(TopologyError, match="added twice"):
+            fabric.add_switch("s0", mini64)
+
+    def test_link_endpoints_must_exist(self, mini64):
+        fabric = FabricTopology()
+        fabric.add_switch("s0", mini64)
+        with pytest.raises(TopologyError, match="not a switch"):
+            fabric.add_link("s0", "ghost")
+
+    def test_self_link_rejected(self, mini64):
+        fabric = FabricTopology()
+        fabric.add_switch("s0", mini64)
+        with pytest.raises(TopologyError, match="self-link"):
+            fabric.add_link("s0", "s0")
+
+    def test_validate_rejects_disconnected(self, mini64):
+        fabric = FabricTopology()
+        fabric.add_switch("a", mini64)
+        fabric.add_switch("b", mini64)
+        with pytest.raises(TopologyError, match="disconnected"):
+            fabric.validate()
+
+    def test_per_switch_targets(self, mini64, mini32):
+        fabric = FabricTopology()
+        fabric.add_switch("big", mini64)
+        fabric.add_switch("small", mini32)
+        fabric.add_link("big", "small")
+        assert fabric.node("big").target.memory_bits_per_stage == 64 * 1024
+        assert fabric.node("small").target.memory_bits_per_stage == 32 * 1024
+
+
+class TestRouting:
+    def test_shortest_path_leaf_to_leaf(self, mini64):
+        fabric = FabricTopology.leaf_spine(leaves=3, spines=2, target=mini64)
+        path = fabric.path("leaf0", "leaf2")
+        assert len(path) == 3               # leaf - spine - leaf
+        assert path[0] == "leaf0" and path[-1] == "leaf2"
+        assert fabric.node(path[1]).role == "spine"
+
+    def test_route_from_ingress(self, mini64):
+        fabric = FabricTopology.flat(3, mini64)
+        assert fabric.route("s2") == ("lb0", "s2")
+
+    def test_no_path_raises(self, mini64):
+        fabric = FabricTopology()
+        fabric.add_switch("a", mini64)
+        fabric.add_switch("b", mini64)
+        with pytest.raises(TopologyError, match="no path"):
+            fabric.path("a", "b")
+
+    def test_route_cache_invalidated_on_growth(self, mini64):
+        fabric = FabricTopology(ingress="a")
+        fabric.add_switch("a", mini64)
+        fabric.add_switch("b", mini64)
+        fabric.add_switch("c", mini64)
+        fabric.add_link("a", "b")
+        fabric.add_link("b", "c")
+        assert fabric.path("a", "c") == ("a", "b", "c")
+        fabric.add_link("a", "c")           # direct shortcut appears
+        assert fabric.path("a", "c") == ("a", "c")
+
+
+class TestGenerators:
+    def test_leaf_spine_shape(self, mini64):
+        fabric = FabricTopology.leaf_spine(leaves=4, spines=2, target=mini64)
+        assert len(fabric) == 6
+        assert len(fabric.links) == 8       # full mesh leaves x spines
+        assert fabric.serving() == ["leaf0", "leaf1", "leaf2", "leaf3"]
+        assert fabric.ingress == "spine0"
+
+    def test_leaf_spine_standby_outside_ring(self, mini64):
+        fabric = FabricTopology.leaf_spine(leaves=2, spines=1,
+                                           target=mini64, standby=1)
+        assert fabric.serving() == ["leaf0", "leaf1"]
+        assert fabric.standby() == ["leaf2"]
+
+    def test_flat_shape(self, mini64):
+        fabric = FabricTopology.flat(3, mini64, standby=1)
+        assert fabric.serving() == ["s0", "s1", "s2"]
+        assert fabric.standby() == ["s3"]
+        assert all(fabric.route(s) == ("lb0", s) for s in fabric.serving())
+
+    def test_spine_target_override(self, mini64, mini32):
+        fabric = FabricTopology.leaf_spine(
+            leaves=2, spines=1, target=mini32, spine_target=mini64
+        )
+        assert fabric.node("spine0").target == mini64
+        assert fabric.node("leaf0").target == mini32
+
+    def test_empty_generators_rejected(self, mini64):
+        with pytest.raises(TopologyError):
+            FabricTopology.leaf_spine(leaves=0, spines=1, target=mini64)
+        with pytest.raises(TopologyError):
+            FabricTopology.flat(0, mini64)

@@ -6,7 +6,13 @@ import pytest
 
 from repro.apps.netcache import NetCacheApp
 from repro.core import validate_layout
-from repro.runtime import fold_counters, migrate_netcache_state
+from repro.runtime import (
+    fold_counters,
+    migrate_netcache_state,
+    readmit_by_heat,
+    restore_registers,
+    snapshot_registers,
+)
 from repro.workloads import ZipfGenerator
 
 MASK32 = (1 << 32) - 1
@@ -145,3 +151,97 @@ class TestMigrationRoundTrip:
         assert sorted(new_app.cached_entries()) == sorted(
             warm_old_app.cached_entries()
         )
+
+
+class TestGenericSnapshotRestore:
+    """The structure-generic snapshot/restore API under the hot-swap
+    wrapper (new in the fabric PR; the wrapper composes these)."""
+
+    def test_snapshot_captures_all_families(self, warm_old_app):
+        snap = snapshot_registers(warm_old_app.pipeline)
+        assert "cms_sketch" in snap.families()
+        assert "kv_keys" in snap.families()
+        assert snap.total_cells > 0
+        assert snap.packets_processed == warm_old_app.pipeline.packets_processed
+
+    def test_snapshot_family_filter(self, warm_old_app):
+        snap = snapshot_registers(warm_old_app.pipeline,
+                                  families=("cms_sketch",))
+        assert snap.families() == ["cms_sketch"]
+        assert snap.mass("cms_sketch") == snap.mass()
+
+    def test_snapshot_is_a_copy(self, warm_old_app):
+        snap = snapshot_registers(warm_old_app.pipeline,
+                                  families=("cms_sketch",))
+        name = next(iter(snap.arrays))
+        before = warm_old_app.pipeline.registers.get(name).dump().copy()
+        snap.arrays[name][:] = 0
+        assert np.array_equal(
+            warm_old_app.pipeline.registers.get(name).dump(), before
+        )
+
+    def test_restore_same_geometry_exact(self, warm_old_app, compiled64,
+                                         mini64):
+        new_app = NetCacheApp(mini64, hot_threshold=4, compiled=compiled64)
+        snap = snapshot_registers(warm_old_app.pipeline)
+        report = restore_registers(snap, new_app.pipeline)
+        assert report.exact
+        assert report.folded == 0
+        assert report.dropped == 0
+        assert report.mass_out == report.mass_in == snap.mass()
+
+    def test_restore_folds_on_shrink(self, warm_old_app, compiled32,
+                                     mini32):
+        new_app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32)
+        snap = snapshot_registers(warm_old_app.pipeline,
+                                  families=("cms_sketch",))
+        report = restore_registers(snap, new_app.pipeline,
+                                   families=("cms_sketch",))
+        assert report.folded > 0
+        # 2048 -> 1024 columns divides evenly: exact, mass-preserving.
+        assert report.exact
+        assert report.mass_out == report.mass_in
+
+    def test_restore_accumulate_adds(self, warm_old_app, compiled64,
+                                     mini64):
+        new_app = NetCacheApp(mini64, hot_threshold=4, compiled=compiled64)
+        snap = snapshot_registers(warm_old_app.pipeline,
+                                  families=("cms_sketch",))
+        restore_registers(snap, new_app.pipeline, families=("cms_sketch",))
+        report = restore_registers(snap, new_app.pipeline,
+                                   families=("cms_sketch",),
+                                   accumulate=True)
+        # Second restore accumulates on top of the first: doubled mass.
+        name = next(iter(snap.arrays))
+        assert np.array_equal(
+            new_app.pipeline.registers.get(name).dump(),
+            (snap.arrays[name].astype(np.uint64) * 2)
+        )
+        assert report.mass_out == 2 * snap.mass()
+
+    def test_restore_unknown_instances_dropped(self, warm_old_app,
+                                               compiled64, mini64):
+        new_app = NetCacheApp(mini64, hot_threshold=4, compiled=compiled64)
+        snap = snapshot_registers(warm_old_app.pipeline)
+        snap.arrays["ghost[0]"] = np.ones(4, dtype=np.uint64)
+        snap.widths["ghost[0]"] = 32
+        report = restore_registers(snap, new_app.pipeline)
+        assert report.dropped == 1
+
+    def test_readmit_by_heat_ranks_and_dedups(self):
+        installed = []
+
+        def install(key, value):
+            if len(installed) == 2:
+                return False
+            installed.append((key, value))
+            return True
+
+        migrated, dropped = readmit_by_heat(
+            [(1, 10), (2, 20), (3, 30), (2, 99)],
+            heat={1: 5, 2: 50, 3: 7}.__getitem__,
+            install=install,
+        )
+        assert migrated == 2 and dropped == 1
+        # Hottest first; the duplicate key installs only once.
+        assert installed == [(2, 99), (3, 30)]
