@@ -293,18 +293,34 @@ class NetCacheApp:
         return False
 
     # -- trace processing -------------------------------------------------------
-    def run_trace(self, keys, dst: int = 1) -> NetCacheStats:
+    def run_trace(self, keys, dst: int = 1, serve_batch: int | None = None,
+                  workers: int | None = None) -> NetCacheStats:
         """Process a key-request trace; returns hit statistics.
 
-        Streams through :meth:`Pipeline.process_many`'s callback mode:
-        the controller reacts to each result (promotion, eviction)
-        between packets without a result list ever being built."""
+        With ``serve_batch`` unset (the default), streams through
+        :meth:`Pipeline.process_many`'s callback mode: the controller
+        reacts to each result (promotion, eviction) between packets
+        without a result list ever being built — identical across all
+        engines.
+
+        With ``serve_batch > 0``, the trace is served in sub-batches of
+        that size: each sub-batch runs through the batched fast path
+        (vector kernels, and sharded across ``workers`` processes when
+        ``workers > 1``), then the controller scans the batch's results
+        before the next one is admitted. Promotions therefore lag by up
+        to one sub-batch relative to the streaming mode — the trade the
+        fleet makes for batch throughput.
+        """
+        from ..pisa.pipeline import default_serve_batch, default_workers
+
+        if serve_batch is None:
+            serve_batch = default_serve_batch()
+        if workers is None:
+            workers = default_workers()
         stats = NetCacheStats()
         key_list = [int(key) for key in keys]
-        result_keys = iter(key_list)
 
-        def controller(result):
-            key = next(result_keys)
+        def react(key, result):
             stats.packets += 1
             if result.get("meta.kv_hit"):
                 stats.hits += 1
@@ -313,10 +329,25 @@ class NetCacheApp:
                 if estimate >= self.hot_threshold and key not in self._cached_keys:
                     self._try_cache(key, self.value_of(key), estimate, stats)
 
-        self.pipeline.process_many(
-            (Packet(fields={"req_key": key, "dst": dst}) for key in key_list),
-            callback=controller,
-        )
+        if not serve_batch:
+            result_keys = iter(key_list)
+            self.pipeline.process_many(
+                (Packet(fields={"req_key": key, "dst": dst}) for key in key_list),
+                callback=lambda result: react(next(result_keys), result),
+            )
+            return stats
+
+        step = int(serve_batch)
+        for start in range(0, len(key_list), step):
+            batch_keys = key_list[start:start + step]
+            results = self.pipeline.process_many(
+                [Packet(fields={"req_key": key, "dst": dst})
+                 for key in batch_keys],
+                workers=workers,
+                shard_field="req_key",
+            )
+            for key, result in zip(batch_keys, results):
+                react(key, result)
         return stats
 
 

@@ -257,6 +257,8 @@ def _run_body(args) -> int:
         migrate_state=not args.no_migrate,
         engine=args.engine,
         race=args.race,
+        serve_batch=args.serve_batch,
+        workers=args.workers,
     )
     print(f"compiling NetCache for {target.describe()}", file=sys.stderr)
     runtime = ElasticRuntime(
@@ -328,6 +330,8 @@ def _fabric_body(args) -> int:
         max_move_fraction=args.max_move,
         engine=args.engine,
         parallel=args.parallel,
+        serve_batch=args.serve_batch,
+        workers=args.workers,
     )
     controller = FleetController(
         fabric, options=_compile_options(args), config=config,
@@ -517,11 +521,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--json", default=None, metavar="PATH",
                        help="write the run report as JSON")
     p_run.add_argument("--engine", default=None,
-                       choices=["compiled", "interp"],
+                       choices=["compiled", "vector", "interp"],
                        help="pipeline execution engine: the compiled plan "
-                            "engine or the reference tree-walking "
+                            "engine, the columnar whole-batch vector "
+                            "engine, or the reference tree-walking "
                             "interpreter (default: compiled, or "
                             "REPRO_PISA_ENGINE)")
+    p_run.add_argument("--serve-batch", type=int, default=None, metavar="N",
+                       help="serve traces in sub-batches of N packets "
+                            "through the batched fast path instead of "
+                            "per-packet streaming (0 disables; pair with "
+                            "--engine vector; default: "
+                            "REPRO_PISA_SERVE_BATCH, or 0)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="flow-sharded worker processes for batched "
+                            "serving (requires --serve-batch; default: "
+                            "REPRO_PISA_WORKERS, or 1)")
     p_run.add_argument("--profile", nargs="?", const="p4all_run_profile.txt",
                        default=None, metavar="PATH",
                        help="profile the run with cProfile and write sorted "
@@ -595,9 +610,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_fabric.add_argument("--json", default=None, metavar="PATH",
                           help="write the fleet report as JSON")
     p_fabric.add_argument("--engine", default=None,
-                          choices=["compiled", "interp"],
+                          choices=["compiled", "vector", "interp"],
                           help="pipeline execution engine (default: "
                                "compiled, or REPRO_PISA_ENGINE)")
+    p_fabric.add_argument("--serve-batch", type=int, default=None,
+                          metavar="N",
+                          help="serve each switch's shard in sub-batches "
+                               "of N packets through the batched fast "
+                               "path (0 disables; default: "
+                               "REPRO_PISA_SERVE_BATCH, or 0)")
+    p_fabric.add_argument("--workers", type=int, default=None,
+                          help="flow-sharded worker processes per switch "
+                               "for batched serving (default: "
+                               "REPRO_PISA_WORKERS, or 1)")
     _add_target_arg(p_fabric)
     _add_solver_args(p_fabric)
     _add_obs_args(p_fabric)

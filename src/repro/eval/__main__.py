@@ -124,7 +124,27 @@ def main(argv: list[str] | None = None) -> int:
                         help="wrap each experiment in cProfile and write "
                              "sorted cumulative stats next to its output "
                              "(<name>_profile.txt in --out, or the cwd)")
+    parser.add_argument("--engine", default=None,
+                        choices=["compiled", "vector", "interp"],
+                        help="pipeline engine for every experiment "
+                             "(sets REPRO_PISA_ENGINE)")
+    parser.add_argument("--serve-batch", type=int, default=None, metavar="N",
+                        help="serve traces through the batched fast path "
+                             "in sub-batches of N packets "
+                             "(sets REPRO_PISA_SERVE_BATCH)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="flow-sharded worker processes for batched "
+                             "serving (sets REPRO_PISA_WORKERS)")
     args = parser.parse_args(argv)
+
+    import os
+
+    if args.engine is not None:
+        os.environ["REPRO_PISA_ENGINE"] = args.engine
+    if args.serve_batch is not None:
+        os.environ["REPRO_PISA_SERVE_BATCH"] = str(args.serve_batch)
+    if args.workers is not None:
+        os.environ["REPRO_PISA_WORKERS"] = str(args.workers)
 
     unknown = [e for e in args.experiments if e not in EXPERIMENTS]
     if unknown:

@@ -80,6 +80,13 @@ class FleetConfig:
     validate_swap: bool = True       # validate + canary before commit
     engine: str | None = None        # pipeline engine (None = default)
     parallel: bool = False           # per-switch worker processes
+    serve_batch: int | None = None   # 0 = per-packet streaming serve;
+                                     # >0 = batched fast path in
+                                     # sub-batches of this size; None =
+                                     # REPRO_PISA_SERVE_BATCH, or 0
+    workers: int | None = None       # flow-sharded processes per switch
+                                     # (batched serve only); None =
+                                     # REPRO_PISA_WORKERS, or 1
 
 
 @dataclass
@@ -586,7 +593,8 @@ class FleetController:
             return self._workers.run_shard(name, shard)
         app = self.topology.node(name).app
         t0 = time.perf_counter()
-        stats = app.run_trace(shard)
+        stats = app.run_trace(shard, serve_batch=self.config.serve_batch,
+                              workers=self.config.workers)
         return stats.packets, stats.hits, time.perf_counter() - t0
 
     def _window(self, keys: np.ndarray, report: FleetReport,

@@ -52,8 +52,13 @@ from ..runtime.migrate import (
 __all__ = ["ParallelFleet", "SwitchWorker"]
 
 
-def _worker_main(app, conn) -> None:
-    """Forked per-switch serving loop (runs in the child process)."""
+def _worker_main(app, conn, serve_batch: int | None = None) -> None:
+    """Forked per-switch serving loop (runs in the child process).
+
+    ``serve_batch > 0`` serves each shard through the batched fast path
+    (the vector engine's whole-batch kernels); the switch process itself
+    is already the unit of parallelism, so intra-switch sharding stays
+    off here."""
     while True:
         try:
             command = conn.recv()
@@ -63,7 +68,7 @@ def _worker_main(app, conn) -> None:
         if op == "run":
             keys = command[1]
             t0 = time.perf_counter()
-            stats = app.run_trace(keys)
+            stats = app.run_trace(keys, serve_batch=serve_batch)
             conn.send((stats.packets, stats.hits,
                        time.perf_counter() - t0))
         elif op == "snapshot":
@@ -103,11 +108,12 @@ def _worker_main(app, conn) -> None:
 class SwitchWorker:
     """Parent-side handle on one forked switch process."""
 
-    def __init__(self, name: str, app, ctx) -> None:
+    def __init__(self, name: str, app, ctx,
+                 serve_batch: int | None = None) -> None:
         self.name = name
         self.conn, child = ctx.Pipe()
         self.process = ctx.Process(
-            target=_worker_main, args=(app, child),
+            target=_worker_main, args=(app, child, serve_batch),
             name=f"switch-{name}", daemon=True,
         )
         self.process.start()
@@ -147,11 +153,13 @@ class ParallelFleet:
                 "parallel fabric execution needs the 'fork' start method"
             )
         ctx = mp.get_context("fork")
+        serve_batch = getattr(controller.config, "serve_batch", None)
         self.workers: dict[str, SwitchWorker] = {}
         for name in controller._installable():
             app = controller.topology.node(name).app
             if app is not None:
-                self.workers[name] = SwitchWorker(name, app, ctx)
+                self.workers[name] = SwitchWorker(name, app, ctx,
+                                                  serve_batch=serve_batch)
 
     def run_shard(self, name: str, keys) -> tuple[int, int, float]:
         return self.workers[name].call("run", keys)

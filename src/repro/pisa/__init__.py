@@ -24,6 +24,7 @@ from .pipeline import (
 )
 from .plan import PipelinePlan, StagePlan, UnitPlan
 from .registers import RegisterArray, RegisterError, RegisterFile
+from .sharded import classify_registers, run_sharded, shard_assignments
 from .targetspec import load_target, save_target, target_from_dict, target_to_dict
 from .resources import (
     ActionCost,
@@ -34,6 +35,7 @@ from .resources import (
     toy_three_stage,
 )
 from .tables import MatchActionTable, TableEntry, TableError
+from .vector import PhvBatch, VectorPlan
 
 __all__ = [
     "AluError",
@@ -70,6 +72,11 @@ __all__ = [
     "RegisterArray",
     "RegisterError",
     "RegisterFile",
+    "classify_registers",
+    "run_sharded",
+    "shard_assignments",
+    "VectorPlan",
+    "PhvBatch",
     "ActionCost",
     "TargetSpec",
     "get_target",

@@ -915,12 +915,7 @@ def build_plan(pipeline) -> PipelinePlan:
         hash_fns=pipeline._hash_fns,
         hash_factory=pipeline._hash_factory,
     )
-    plan = PipelinePlan(
-        masks={
-            name: (1 << pipeline.phv_layout.width(name)) - 1
-            for name in pipeline.phv_layout.fields
-        }
-    )
+    plan = PipelinePlan(masks=pipeline.phv_layout.width_masks())
     no_scalars: dict[str, int] = {}
     fallback_stages: set[int] = set()
     for stage, units in enumerate(pipeline._stage_units):

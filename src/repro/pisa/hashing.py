@@ -97,6 +97,28 @@ class MultiplyShiftHash(HashFunction):
         keys = np.asarray(values, dtype=np.uint64)
         mult = np.uint64(self._multiplier(0))
         acc = np.uint64(self._addend) + mult * keys
+        return self._finalize(acc, width)
+
+    def vector_multi(self, columns, width: int) -> np.ndarray:
+        """Vectorized multi-argument hash: one array per argument
+        position, combined with the same per-position odd multipliers as
+        :meth:`_mix`. All arithmetic stays in uint64 arrays (wraparound
+        mod 2**64), bit-identical to the scalar path; signed inputs are
+        C-cast, which equals the scalar's ``value & (2**64 - 1)``."""
+        if width <= 0:
+            raise ValueError("hash width must be positive")
+        acc = None
+        for pos, column in enumerate(columns):
+            keys = np.asarray(column).astype(np.uint64)
+            term = np.uint64(self._multiplier(pos)) * keys
+            acc = term if acc is None else acc + term
+        if acc is None:
+            return np.asarray(self._mix() % width, dtype=np.int64)
+        acc = np.uint64(self._addend) + acc
+        return self._finalize(acc, width)
+
+    @staticmethod
+    def _finalize(acc: np.ndarray, width: int) -> np.ndarray:
         acc ^= acc >> np.uint64(30)
         acc *= np.uint64(0xBF58476D1CE4E5B9)
         acc ^= acc >> np.uint64(27)

@@ -66,6 +66,15 @@ class PhvLayout:
         except KeyError:
             raise PhvError(f"PHV field {name!r} was never allocated") from None
 
+    def width_masks(self) -> dict[str, int]:
+        """Field name -> ``(1 << width) - 1`` for every allocated field.
+
+        Execution engines (compiled plans, the vector engine's columnar
+        batches) key their commit masks off this map instead of probing
+        ``width()`` per field.
+        """
+        return {name: slot.mask for name, slot in self._slots.items()}
+
     @property
     def used_bits(self) -> int:
         return self._used

@@ -37,9 +37,11 @@ from .tables import MatchActionTable, TableEntry
 __all__ = ["Pipeline", "PipelineResult", "ValidationError",
            "ENGINES", "default_engine"]
 
-#: Available execution engines: the tree-walking reference interpreter
-#: and the compile-once plan engine (see repro.pisa.compiled).
-ENGINES = ("compiled", "interp")
+#: Available execution engines: the compile-once plan engine (see
+#: repro.pisa.compiled), the columnar whole-batch engine (see
+#: repro.pisa.vector — scalar plan for single packets, struct-of-arrays
+#: kernels for process_many), and the tree-walking reference interpreter.
+ENGINES = ("compiled", "vector", "interp")
 
 
 def default_engine() -> str:
@@ -51,6 +53,19 @@ def default_engine() -> str:
             f"REPRO_PISA_ENGINE={engine!r} is not one of {ENGINES}"
         )
     return engine
+
+
+def default_workers() -> int:
+    """Sharded worker count used when a serving path gets ``workers=None``:
+    the ``REPRO_PISA_WORKERS`` environment variable, or 1."""
+    return max(1, int(os.environ.get("REPRO_PISA_WORKERS", "1")))
+
+
+def default_serve_batch() -> int:
+    """Serving sub-batch size used when a serving path gets
+    ``serve_batch=None`` without an explicit config: the
+    ``REPRO_PISA_SERVE_BATCH`` environment variable, or 0 (streaming)."""
+    return max(0, int(os.environ.get("REPRO_PISA_SERVE_BATCH", "0")))
 
 
 class ValidationError(Exception):
@@ -100,11 +115,26 @@ class Pipeline:
                              f"choose one of {ENGINES}")
         self.plan = None
         self._plan_run = None
-        if self.engine == "compiled":
+        self.vplan = None
+        #: Max packets per whole-batch vector kernel invocation; chunk
+        #: boundaries are also quiesce drain points.
+        self.vector_chunk = 8192
+        #: Stats of the last sharded process_many (see repro.pisa.sharded).
+        self.last_shard_report = None
+        if self.engine in ("compiled", "vector"):
             from .compiled import build_plan
 
             self.plan = build_plan(self)
             self._plan_run = self.plan.fast_run or self.plan.run
+        if self.engine == "vector":
+            from .vector import VectorPlan
+
+            try:
+                self.vplan = VectorPlan(self)
+            except Exception:
+                # The scalar plan is always valid; batches just lose the
+                # columnar fast path.
+                self.vplan = None
         if validate:
             self.validate()
         self._export_occupancy_metrics()
@@ -418,8 +448,10 @@ class Pipeline:
         self.packets_processed += 1
         return PipelineResult(phv=phv.snapshot(), table_hits=table_hits)
 
-    def process_many(self, packets, collect: bool = True,
-                     callback=None) -> list[PipelineResult] | int:
+    def process_many(self, packets, collect: bool = True, callback=None,
+                     workers: int = 1,
+                     shard_field: str | None = None
+                     ) -> list[PipelineResult] | int:
         """Run a packet sequence through the pipeline (batched fast path).
 
         Three modes:
@@ -444,12 +476,27 @@ class Pipeline:
         While the batch runs, :attr:`in_batch` is True and bulk register
         reads must go through :meth:`quiesce`, whose callbacks drain at
         the inter-packet boundaries of this loop (after each packet and
-        its callback complete) and once more when the batch ends.
+        its callback complete) and once more when the batch ends. Under
+        the vector engine the drain points are chunk boundaries
+        (:attr:`vector_chunk` packets apart); under ``workers > 1`` the
+        only drain point is the worker-join barrier at batch end.
+
+        ``workers > 1`` fans the batch out to forked worker processes
+        partitioned by flow-hash sharding (``shard_field`` picks the
+        key; default ``flow_id``/first field), merging per-worker
+        register deltas on join — see :mod:`repro.pisa.sharded` for the
+        merge-exactness rules. Sharding is incompatible with
+        ``callback`` (the controller would race its own workers).
         """
-        with trace.span("pisa.batch", engine=self.engine) as span:
+        if workers > 1 and callback is not None:
+            raise ValueError("process_many: workers > 1 cannot stream "
+                             "through a callback")
+        with trace.span("pisa.batch", engine=self.engine,
+                        workers=workers) as span:
             self._in_batch = True
             try:
-                result = self._process_many(packets, collect, callback)
+                result = self._process_many(packets, collect, callback,
+                                            workers, shard_field)
             finally:
                 self._in_batch = False
                 self._drain_quiesce()
@@ -462,9 +509,17 @@ class Pipeline:
             ).inc(count, engine=self.engine)
             return result
 
-    def _process_many(self, packets, collect: bool,
-                      callback) -> list[PipelineResult] | int:
+    def _process_many(self, packets, collect: bool, callback,
+                      workers: int = 1,
+                      shard_field: str | None = None
+                      ) -> list[PipelineResult] | int:
         pending = self._quiesce_pending
+        if workers > 1:
+            from .sharded import run_sharded
+
+            return run_sharded(self, packets, collect, workers, shard_field)
+        if callback is None and self.vplan is not None and self.vplan.ok:
+            return self._process_vector(packets, collect)
         if callback is not None:
             count = 0
             for packet in packets:
@@ -484,6 +539,29 @@ class Pipeline:
         for packet in packets:
             self.process(packet)
             count += 1
+            if pending:
+                self._drain_quiesce()
+        return count
+
+    def _process_vector(self, packets,
+                        collect: bool) -> list[PipelineResult] | int:
+        """Whole-batch columnar execution, chunked so deferred quiesce
+        callbacks still get periodic drain points."""
+        if not isinstance(packets, list):
+            packets = list(packets)
+        pending = self._quiesce_pending
+        chunk = max(1, int(self.vector_chunk))
+        run_batch = self.vplan.run_batch
+        if collect:
+            results: list[PipelineResult] = []
+            for start in range(0, len(packets), chunk):
+                results.extend(run_batch(packets[start:start + chunk], True))
+                if pending:
+                    self._drain_quiesce()
+            return results
+        count = 0
+        for start in range(0, len(packets), chunk):
+            count += run_batch(packets[start:start + chunk], False)
             if pending:
                 self._drain_quiesce()
         return count

@@ -102,6 +102,32 @@ class RegisterArray:
         """Fraction of cells holding a non-zero value."""
         return self.nonzero_cells() / self.cells
 
+    def merge_delta(self, idx, delta) -> None:
+        """Fold per-cell deltas into the array: ``cell += delta`` mod
+        2**64, re-masked. ``idx``/``delta`` are parallel arrays. This is
+        the join step for additively-used registers under sharded
+        execution: because counter addition commutes, summing each
+        worker's wrapped delta reproduces the sequential state exactly.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        delta = np.asarray(delta, dtype=np.uint64)
+        self._data[idx] = (self._data[idx] + delta) & np.uint64(self.mask)
+
+    def merge_extremum(self, idx, values, kind: str) -> None:
+        """Merge ``values`` into cells via ``max``/``min`` — the exact
+        join for registers touched only by ``max_update``/``min_update``.
+        """
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint64)
+        op = np.maximum if kind == "max" else np.minimum
+        self._data[idx] = op(self._data[idx], values)
+
+    def overwrite_cells(self, idx, values) -> None:
+        """Replace the named cells wholesale (last-writer-wins join)."""
+        idx = np.asarray(idx, dtype=np.int64)
+        values = np.asarray(values, dtype=np.uint64)
+        self._data[idx] = values & np.uint64(self.mask)
+
     def load(self, values) -> None:
         arr = np.asarray(values, dtype=np.uint64)
         if arr.shape != (self.cells,):

@@ -1,0 +1,349 @@
+"""Flow-hash-sharded multiprocess fan-out for ``Pipeline.process_many``.
+
+Workers partition the batch by the shard ring's key hash
+(:func:`repro.fabric.shard.key_hash`, the same splitmix64 the fleet
+uses), so every worker owns a disjoint slice of the *flow keyspace* —
+the same invariant the multi-switch fabric relies on. Register cells
+are still shared arrays indexed by hashes of those keys, so two workers
+can land on the same cell; the per-register merge discipline makes the
+join exact where the algebra allows it:
+
+* **additive** registers (touched only via ``add``/``add_read``/
+  ``cond_add``/``cond_add_read``) merge by summing per-worker deltas
+  mod 2**64 and re-masking — bit-exact even for cross-shard cell
+  collisions, because counter addition commutes;
+* **max** / **min** registers (only ``max_update`` / ``min_update``)
+  merge via ``np.maximum``/``np.minimum`` against the parent cell —
+  also exact (the extremum over any partition of the updates is the
+  extremum of the per-partition extrema);
+* everything else (``write``, ``swap``, or mixed methods) merges by
+  overwriting the parent's cells with each worker's changed cells in
+  worker order — exact when workers touch disjoint cells (the common
+  case under flow sharding), last-worker-wins on a collision. The docs
+  call this caveat out; workloads needing stronger semantics should
+  stay single-process.
+
+Workers are forked (``multiprocessing`` ``fork`` context): the child
+inherits the pipeline by memory image — nothing is pickled on the way
+in, and per-worker results/deltas return over a pipe. On platforms
+without ``fork`` the partitions run sequentially in-process, which is
+merely slower, never wrong. Each child reports its busy seconds so
+callers (the throughput benchmark, the fleet controller) can compute a
+makespan-modeled aggregate next to honest wall-clock numbers; the
+parent records both on ``pipeline.last_shard_report``.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Optional
+
+import numpy as np
+
+from ..lang import ast
+from .compiled import _REG_METHODS, _NotStatic, _fold
+
+__all__ = ["run_sharded", "classify_registers", "shard_assignments"]
+
+_MASK64 = (1 << 64) - 1
+_ADDITIVE = frozenset({"add", "add_read", "cond_add", "cond_add_read"})
+_MAX_ONLY = frozenset({"max_update"})
+_MIN_ONLY = frozenset({"min_update"})
+
+
+# ---------------------------------------------------------------------------
+# Register merge classification (static, per pipeline)
+# ---------------------------------------------------------------------------
+
+
+def _static_instance(expr, consts) -> Optional[str]:
+    """Resolve a register reference AST to an instance name, or None."""
+    if isinstance(expr, ast.Name):
+        return f"{expr.ident}[0]"
+    if isinstance(expr, ast.Index) and isinstance(expr.base, ast.Name):
+        try:
+            idx = _fold(expr.index, consts)
+        except _NotStatic:
+            return None
+        return f"{expr.base.ident}[{idx}]"
+    return None
+
+
+def classify_registers(pipeline) -> dict[str, str]:
+    """Map register instance -> merge class: ``"additive"``, ``"max"``,
+    ``"min"``, or ``"overwrite"``.
+
+    Scans every placed unit body *and* every declared table action for
+    register method calls. A reference whose index cannot be folded
+    (e.g. ``counts[r]`` with ``r`` an action parameter) attributes the
+    method to every instance of that family; a reference whose family is
+    itself unknown makes the whole classification conservative
+    (everything merges by overwrite).
+    """
+    consts = pipeline.info.consts
+    methods: dict[str, set[str]] = {}
+    family_methods: dict[str, set[str]] = {}
+    dynamic = False
+
+    def scan(stmts) -> None:
+        nonlocal dynamic
+        for stmt in stmts:
+            for node in ast.walk(stmt):
+                # Register calls appear both as statements and as
+                # expressions (``meta.x = reg.add_read(...)``), so match
+                # the Call node itself, not just CallStmt wrappers.
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Member)):
+                    continue
+                func = node.func
+                if func.name not in _REG_METHODS:
+                    continue
+                name = _static_instance(func.base, consts)
+                if name is not None:
+                    methods.setdefault(name, set()).add(func.name)
+                elif (isinstance(func.base, ast.Index)
+                      and isinstance(func.base.base, ast.Name)):
+                    family_methods.setdefault(
+                        func.base.base.ident, set()).add(func.name)
+                else:
+                    dynamic = True
+
+    for units in pipeline._stage_units:
+        for unit in units:
+            scan(unit.instance.body)
+    for decl in pipeline.info.actions.values():
+        scan(decl.body.stmts)
+
+    classes: dict[str, str] = {}
+    for name in pipeline.registers.names():
+        family = name.rsplit("[", 1)[0]
+        used = methods.get(name, set()) | family_methods.get(family, set())
+        if dynamic:
+            classes[name] = "overwrite"
+        elif used and used <= _ADDITIVE:
+            classes[name] = "additive"
+        elif used and used <= _MAX_ONLY:
+            classes[name] = "max"
+        elif used and used <= _MIN_ONLY:
+            classes[name] = "min"
+        else:
+            classes[name] = "overwrite"
+    return classes
+
+
+# ---------------------------------------------------------------------------
+# Shard assignment
+# ---------------------------------------------------------------------------
+
+
+def shard_assignments(packets, workers: int,
+                      shard_field: Optional[str] = None) -> np.ndarray:
+    """Worker index per packet: ``splitmix64(key) % workers``.
+
+    The shard field defaults to ``flow_id`` when present, else the first
+    field of the first packet. Packets missing the field hash key 0.
+    """
+    from ..fabric.shard import key_hash
+
+    if shard_field is None:
+        first = packets[0].fields
+        shard_field = "flow_id" if "flow_id" in first else next(iter(first))
+    keys = np.fromiter(
+        ((int(p.fields.get(shard_field, 0)) & _MASK64) for p in packets),
+        dtype=np.uint64, count=len(packets))
+    return (key_hash(keys) % np.uint64(workers)).astype(np.int64)
+
+
+# ---------------------------------------------------------------------------
+# Worker execution + merge
+# ---------------------------------------------------------------------------
+
+
+def _run_partition(pipeline, packets, collect: bool):
+    """Run one worker's packets; returns (count, busy_s, deltas, results).
+
+    ``busy_s`` is the worker's *CPU* seconds for its partition, not wall
+    time: on a host with fewer free cores than workers the forked
+    children time-slice, and a child's wall clock would charge it for
+    time spent descheduled. CPU seconds are what the makespan model
+    (``packets / max(busy)``) needs — the completion time on a host
+    where every worker gets a core.
+
+    ``deltas`` maps register instance -> (changed_idx, payload) where
+    the payload is delta values (additive) or new values (other
+    classes), relative to the register state at call time.
+    """
+    registers = pipeline.registers
+    before = {name: registers.get(name).dump() for name in registers.names()}
+    start = time.process_time()
+    result = pipeline._process_many(packets, collect, None)
+    busy = time.process_time() - start
+    deltas: dict[str, tuple] = {}
+    for name, snap in before.items():
+        data = registers.get(name)._data
+        changed = np.nonzero(data != snap)[0]
+        if changed.size:
+            # new - old in uint64 wraps mod 2**64: exactly the summed
+            # increments for additive registers, and recoverable new
+            # values for every class (parent keeps the payload raw).
+            deltas[name] = (changed, data[changed] - snap[changed],
+                            data[changed])
+    count = result if isinstance(result, int) else len(result)
+    results = result if collect else None
+    return count, busy, deltas, results
+
+
+def _merge_deltas(pipeline, classes: dict[str, str],
+                  worker_deltas: list[dict]) -> None:
+    """Fold per-worker register changes into the parent, in worker order."""
+    registers = pipeline.registers
+    for deltas in worker_deltas:
+        for name, (idx, delta, new) in deltas.items():
+            array = registers.get(name)
+            kind = classes.get(name, "overwrite")
+            if kind == "additive":
+                array.merge_delta(idx, delta)
+            elif kind in ("max", "min"):
+                array.merge_extremum(idx, new, kind)
+            else:
+                array.overwrite_cells(idx, new)
+
+
+def run_sharded(pipeline, packets, collect: bool, workers: int,
+                shard_field: Optional[str] = None):
+    """Partition ``packets`` by flow hash, run each shard in a forked
+    worker, merge register deltas on join. Returns results (lane order
+    preserved) or the packet count, and records per-worker stats on
+    ``pipeline.last_shard_report``.
+    """
+    if not isinstance(packets, list):
+        packets = list(packets)
+    n = len(packets)
+    if n == 0:
+        pipeline.last_shard_report = {
+            "workers": workers, "counts": [], "busy_seconds": [],
+            "mode": "empty",
+        }
+        return [] if collect else 0
+    # Deferred quiesce callbacks queued before the fan-out (e.g. by the
+    # iterable that produced the packets) must fire at the worker-join
+    # boundary, in the parent — never inside a worker, where their
+    # effects would be discarded with the child process. Stash them so
+    # forked children inherit an empty queue; restored below, they run
+    # in process_many's end-of-batch drain, which follows the join.
+    stash = pipeline._quiesce_pending[:]
+    pipeline._quiesce_pending.clear()
+    try:
+        return _run_sharded_body(pipeline, packets, collect, workers,
+                                 shard_field)
+    finally:
+        pipeline._quiesce_pending[:0] = stash
+
+
+def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
+    n = len(packets)
+    assign = shard_assignments(packets, workers, shard_field)
+    lanes = [np.nonzero(assign == w)[0] for w in range(workers)]
+    shards = [[packets[i] for i in lane.tolist()] for lane in lanes]
+    classes = classify_registers(pipeline)
+
+    import multiprocessing as mp
+
+    # REPRO_PISA_SHARD_MODE=inline forces the sequential in-process
+    # path (used by the throughput benchmark to measure per-worker busy
+    # seconds without fork copy-on-write noise); =fork insists on forked
+    # workers where available; default auto prefers fork.
+    want = os.environ.get("REPRO_PISA_SHARD_MODE", "auto")
+    if want == "inline":
+        ctx = None
+    else:
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError:
+            ctx = None
+
+    counts: list[int] = []
+    busys: list[float] = []
+    worker_deltas: list[dict] = []
+    worker_results: list = []
+    mode = "fork"
+    if ctx is None:
+        # No fork on this platform: run the partitions sequentially.
+        # Same partitioning, same merge discipline, no parallelism.
+        mode = "inline"
+        for shard in shards:
+            before = {
+                name: pipeline.registers.get(name).dump()
+                for name in pipeline.registers.names()
+            }
+            count, busy, deltas, results = _run_partition(
+                pipeline, shard, collect)
+            # The partition already ran in-place; undo and re-apply via
+            # the merge path so inline and fork joins are bit-identical.
+            for name, snap in before.items():
+                pipeline.registers.get(name)._data[:] = snap
+            counts.append(count)
+            busys.append(busy)
+            worker_deltas.append(deltas)
+            worker_results.append(results)
+        _merge_deltas(pipeline, classes, worker_deltas)
+    else:
+        procs = []
+        for shard in shards:
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+
+            def child_main(conn=child_conn, shard=shard):
+                try:
+                    payload = _run_partition(pipeline, shard, collect)
+                    conn.send(("ok", payload))
+                except BaseException as exc:  # surfaced in the parent
+                    conn.send(("err", repr(exc)))
+                finally:
+                    conn.close()
+
+            proc = ctx.Process(target=child_main, daemon=True)
+            proc.start()
+            child_conn.close()
+            procs.append((proc, parent_conn))
+        failures: list[str] = []
+        for proc, conn in procs:
+            try:
+                status, payload = conn.recv()
+            except EOFError:
+                status, payload = "err", "worker exited without a result"
+            proc.join()
+            if status != "ok":
+                failures.append(str(payload))
+                counts.append(0)
+                busys.append(0.0)
+                worker_deltas.append({})
+                worker_results.append([] if collect else None)
+                continue
+            count, busy, deltas, results = payload
+            counts.append(count)
+            busys.append(busy)
+            worker_deltas.append(deltas)
+            worker_results.append(results)
+        if failures:
+            from .interp import SimulationError
+
+            raise SimulationError(
+                f"sharded workers failed: {'; '.join(failures)}"
+            )
+        _merge_deltas(pipeline, classes, worker_deltas)
+        pipeline.packets_processed += sum(counts)
+    pipeline.last_shard_report = {
+        "workers": workers,
+        "counts": counts,
+        "busy_seconds": busys,
+        "mode": mode,
+        "register_classes": classes,
+    }
+    if not collect:
+        return n
+    out: list = [None] * n
+    for lane, results in zip(lanes, worker_results):
+        for pos, i in enumerate(lane.tolist()):
+            out[i] = results[pos]
+    return out

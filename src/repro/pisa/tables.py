@@ -79,6 +79,9 @@ class MatchActionTable:
         self._exact_index: dict[tuple, TableEntry] | None = (
             {} if all(k == "exact" for k in match_kinds) else None
         )
+        #: Bumped on every entry mutation; lets compiled lookup caches
+        #: (the vector engine's searchsorted index) invalidate cheaply.
+        self.version = 0
 
     @property
     def entries(self) -> list[TableEntry]:
@@ -96,6 +99,7 @@ class MatchActionTable:
         self._entries.append(entry)
         if self._exact_index is not None:
             self._exact_index[tuple(int(v) for v in entry.match)] = entry
+        self.version += 1
 
     def remove_entry(self, match: tuple) -> bool:
         """Remove the first rule whose match equals ``match``; True if found."""
@@ -104,6 +108,7 @@ class MatchActionTable:
                 del self._entries[i]
                 if self._exact_index is not None:
                     self._exact_index.pop(tuple(int(v) for v in match), None)
+                self.version += 1
                 return True
         return False
 
@@ -111,6 +116,7 @@ class MatchActionTable:
         self._entries.clear()
         if self._exact_index is not None:
             self._exact_index.clear()
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._entries)

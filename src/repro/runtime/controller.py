@@ -57,6 +57,12 @@ class RuntimeConfig:
     drift_reconfig: bool = True       # arm the drift trigger at all
     engine: str | None = None         # pipeline engine (None = default)
     race: bool = False                # race ILP vs greedy in the planner
+    serve_batch: int | None = None    # 0 = per-packet streaming serve;
+                                      # >0 = batched fast path; None =
+                                      # REPRO_PISA_SERVE_BATCH, or 0
+    workers: int | None = None        # flow-sharded serve processes
+                                      # (batched serve only); None =
+                                      # REPRO_PISA_WORKERS, or 1
 
 
 @dataclass
@@ -441,7 +447,9 @@ class ElasticRuntime:
                 n = min(self.config.window_packets, end - self.packets_processed)
                 with trace.span("runtime.window") as wspan:
                     keys = stream.sample(n)
-                    stats = self.app.run_trace(keys)
+                    stats = self.app.run_trace(
+                        keys, serve_batch=self.config.serve_batch,
+                        workers=self.config.workers)
                     self.packets_processed += n
                     self.total_hits += stats.hits
                     report.packets += n

@@ -1,10 +1,11 @@
-"""Differential testing: compiled plan engine ≡ tree-walking interpreter.
+"""Differential testing: compiled plan ≡ interpreter ≡ vector engine.
 
-The compiled engine (`repro.pisa.compiled`) is an optimization, not a
-semantics change: for every example app — CMS, Bloom filter, key-value
-store, NetCache with its routing table — random packet streams must
-produce identical PHV results, table hits, and final register state on
-both engines, including after a runtime hot-swap with state migration.
+The compiled engine (`repro.pisa.compiled`) and the columnar vector
+engine (`repro.pisa.vector`) are optimizations, not semantics changes:
+for every example app — CMS, Bloom filter, key-value store, NetCache
+with its routing table — random packet streams must produce identical
+PHV results, table hits, and final register state on all three engines,
+including after a runtime hot-swap with state migration.
 """
 
 from __future__ import annotations
@@ -50,20 +51,23 @@ def _register_state(pipeline):
 
 
 def assert_equivalent(compiled, packets, prepare=None):
-    """Run the same packets through both engines; everything must match."""
+    """Run the same packets through all engines; everything must match."""
     engines = {}
-    for engine in ("compiled", "interp"):
+    for engine in ("compiled", "interp", "vector"):
         pipe = Pipeline(compiled, engine=engine)
         if prepare is not None:
             prepare(pipe)
         results = pipe.process_many(list(packets))
         engines[engine] = (pipe, results)
     pc, rc = engines["compiled"]
-    pi, ri = engines["interp"]
-    for n, (a, b) in enumerate(zip(rc, ri)):
-        assert a.phv == b.phv, f"packet {n}: PHV diverged"
-        assert a.table_hits == b.table_hits, f"packet {n}: hits diverged"
-    assert _register_state(pc) == _register_state(pi)
+    for other in ("interp", "vector"):
+        po, ro = engines[other]
+        for n, (a, b) in enumerate(zip(rc, ro)):
+            assert a.phv == b.phv, f"packet {n}: PHV diverged on {other}"
+            assert a.table_hits == b.table_hits, \
+                f"packet {n}: hits diverged on {other}"
+        assert _register_state(pc) == _register_state(po), \
+            f"register state diverged on {other}"
 
 
 class TestExampleApps:
@@ -81,6 +85,31 @@ class TestExampleApps:
         # must have kicked in (it is where the throughput target lives).
         assert pipe.plan.fast_run is not None
         assert "def _fast_run" in pipe.plan.fast_source
+
+
+class TestCollisionBatches:
+    """The vector engine's same-key read-after-write hazard handling:
+    batches engineered to hit the same register cells many times within
+    one kernel invocation must still match the sequential engines
+    exactly (segmented prefix sums or a scalar island — either way,
+    bit-for-bit)."""
+
+    @_SETTINGS
+    @given(
+        hot=st.lists(st.integers(min_value=0, max_value=3),
+                     min_size=4, max_size=80),
+        salt=st.integers(min_value=0, max_value=(1 << 32) - 1),
+    )
+    def test_same_key_collision_batches(self, compiled_app, hot, salt):
+        # Mostly a handful of hot keys (guaranteed same-cell collisions
+        # within every batch), with one arbitrary key mixed in.
+        flows = [h * 7 + 1 for h in hot] + [salt]
+        packets = [Packet(fields={"flow_id": f}) for f in flows]
+        assert_equivalent(compiled_app, packets)
+
+    def test_single_hot_key_long_batch(self, compiled_app):
+        packets = [Packet(fields={"flow_id": 42}) for _ in range(300)]
+        assert_equivalent(compiled_app, packets)
 
 
 class TestNetCache:
@@ -130,15 +159,17 @@ class TestNetCache:
         )
         keys = ZipfGenerator(1000, alpha=1.3, seed=17).sample(2000)
         apps = {}
-        for engine in ("compiled", "interp"):
+        for engine in ("compiled", "interp", "vector"):
             app = NetCacheApp(mini, hot_threshold=4, compiled=nc_compiled,
                               engine=engine)
             apps[engine] = (app, app.run_trace(keys))
         ac, sc = apps["compiled"]
-        ai, si = apps["interp"]
-        assert sc == si
-        assert sorted(ac.cached_entries()) == sorted(ai.cached_entries())
-        assert _register_state(ac.pipeline) == _register_state(ai.pipeline)
+        for other in ("interp", "vector"):
+            ao, so = apps[other]
+            assert sc == so, f"stats diverged on {other}"
+            assert sorted(ac.cached_entries()) == sorted(ao.cached_entries())
+            assert (_register_state(ac.pipeline)
+                    == _register_state(ao.pipeline))
 
 
 class TestPostMigration:
@@ -166,17 +197,22 @@ class TestPostMigration:
         assert old.cached_entries()
 
         new_apps = {}
-        for engine in ("compiled", "interp"):
+        for engine in ("compiled", "interp", "vector"):
             app = NetCacheApp(mini32, hot_threshold=4, compiled=compiled32,
                               engine=engine)
             migrate_netcache_state(old, app)
             new_apps[engine] = app
-        ac, ai = new_apps["compiled"], new_apps["interp"]
-        assert _register_state(ac.pipeline) == _register_state(ai.pipeline)
+        ac = new_apps["compiled"]
+        for other in ("interp", "vector"):
+            assert (_register_state(ac.pipeline)
+                    == _register_state(new_apps[other].pipeline))
 
-        # Post-swap traffic behaves identically on both engines.
+        # Post-swap traffic behaves identically on every engine.
         keys = ZipfGenerator(1500, alpha=1.3, seed=6).sample(2000)
-        sc, si = ac.run_trace(keys), ai.run_trace(keys)
-        assert sc == si
-        assert sorted(ac.cached_entries()) == sorted(ai.cached_entries())
-        assert _register_state(ac.pipeline) == _register_state(ai.pipeline)
+        stats = {name: app.run_trace(keys) for name, app in new_apps.items()}
+        for other in ("interp", "vector"):
+            ao = new_apps[other]
+            assert stats["compiled"] == stats[other]
+            assert sorted(ac.cached_entries()) == sorted(ao.cached_entries())
+            assert (_register_state(ac.pipeline)
+                    == _register_state(ao.pipeline))

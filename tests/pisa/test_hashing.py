@@ -53,6 +53,49 @@ class TestMultiplyShift:
         with pytest.raises(ValueError):
             MultiplyShiftHash(1)(5, width=0)
 
+    def test_vector_overflow_boundaries_match_scalar(self):
+        """uint64 multiply-shift must wrap mod 2**64 bit-for-bit: the
+        boundary keys would silently lose low bits under any float or
+        object-dtype promotion."""
+        boundary = [0, 1, (1 << 32) - 1, 1 << 32, (1 << 63) - 1,
+                    1 << 63, (1 << 64) - 1]
+        keys = np.array(boundary, dtype=np.uint64)
+        for seed in (0, 1, 7, 100):
+            fn = MultiplyShiftHash(seed)
+            for width in (2, 4096, 1 << 32):
+                vec = fn.vector(keys, width)
+                assert vec.dtype == np.int64
+                assert list(vec) == [fn(k, width=width) for k in boundary]
+            slots = fn.slot_vector(keys, cells=1021)
+            assert slots.dtype == np.int64
+            assert list(slots) == [fn.slot(k, cells=1021) for k in boundary]
+
+    def test_vector_multi_overflow_boundaries_match_scalar(self):
+        fn = MultiplyShiftHash(13)
+        boundary = [0, (1 << 32) - 1, (1 << 64) - 1]
+        cols = [np.array(boundary, dtype=np.uint64),
+                np.array(boundary[::-1], dtype=np.uint64)]
+        for width in (1024, 1 << 32):
+            vec = fn.vector_multi(cols, width)
+            assert vec.dtype == np.int64
+            scalar = [fn(a, b, width=width)
+                      for a, b in zip(boundary, boundary[::-1])]
+            assert list(vec) == scalar
+
+    def test_vector_multi_signed_input_wraps_like_scalar_mask(self):
+        # The vector engine holds 64-bit fields as int64 bit patterns;
+        # C-casting them to uint64 must equal the scalar's & (2**64-1).
+        fn = MultiplyShiftHash(21)
+        signed = np.array([-1, -(1 << 62), 5], dtype=np.int64)
+        vec = fn.vector_multi([signed], 1 << 20)
+        scalar = [fn(int(v) & ((1 << 64) - 1), width=1 << 20)
+                  for v in signed]
+        assert list(vec) == scalar
+
+    def test_vector_multi_no_arguments_is_constant(self):
+        fn = MultiplyShiftHash(2)
+        assert int(fn.vector_multi([], 777)) == fn(width=777)
+
 
 class TestCrc32:
     def test_deterministic(self):

@@ -46,7 +46,7 @@ class TestEngineSelection:
             Pipeline(compiled_cms, engine="turbo")
 
     def test_engines_tuple(self):
-        assert set(ENGINES) == {"compiled", "interp"}
+        assert set(ENGINES) == {"compiled", "interp", "vector"}
 
 
 class TestPlanStructure:

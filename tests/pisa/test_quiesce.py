@@ -107,3 +107,69 @@ class TestMidBatchProtection:
         assert not pipe.in_batch
         # The pipeline still serves traffic afterwards.
         pipe.process(Packet(fields={"flow_id": 1}))
+
+
+class TestQuiesceVectorEngine:
+    """Drain points under whole-batch execution: chunk boundaries for
+    the vector engine, the worker-join barrier under sharding."""
+
+    def _vector_pipe(self):
+        from repro.core import compile_source
+        from repro.pisa import Pipeline, small_target
+
+        compiled = compile_source(COUNTER, small_target(stages=6,
+                                                        memory_kb=32))
+        return Pipeline(compiled, engine="vector")
+
+    def test_vector_chunk_boundaries_drain(self):
+        pipe = self._vector_pipe()
+        pipe.vector_chunk = 4
+        snaps = []
+
+        def feed():
+            for i in range(10):
+                if i == 2:
+                    # Queued while the batch consumes the generator:
+                    # in_batch is True, so this defers to the next
+                    # chunk boundary.
+                    assert pipe.quiesce(
+                        lambda: snaps.append(
+                            snapshot_registers(pipe).mass("counts"))
+                    ) is None
+                yield Packet(fields={"flow_id": 5})
+
+        pipe.process_many(feed(), collect=False)
+        # Drained at the first chunk boundary: 4 whole packets counted.
+        assert snaps == [4]
+
+    def test_sharded_join_drains_in_parent(self):
+        pipe = self._vector_pipe()
+        snaps = []
+        flows = [Packet(fields={"flow_id": k % 5}) for k in range(20)]
+        assert not pipe.in_batch
+        pipe._in_batch = True
+        try:
+            assert pipe.quiesce(
+                lambda: snaps.append(snapshot_registers(pipe).mass("counts"))
+            ) is None
+        finally:
+            pipe._in_batch = False
+        pipe.process_many(flows, collect=False, workers=2)
+        # The callback fired at the worker-join boundary, after the
+        # register merge: it saw all 20 increments, not a worker's
+        # partial view.
+        assert snaps == [20]
+
+    def test_sharded_generator_quiesce_fires_after_merge(self):
+        pipe = self._vector_pipe()
+        snaps = []
+
+        def feed():
+            for k in range(12):
+                if k == 3:
+                    pipe.quiesce(lambda: snaps.append(
+                        snapshot_registers(pipe).mass("counts")))
+                yield Packet(fields={"flow_id": k % 3})
+
+        pipe.process_many(feed(), collect=False, workers=2)
+        assert snaps == [12]
