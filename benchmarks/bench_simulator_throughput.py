@@ -12,19 +12,28 @@ Rates are derived from the ``benchmark`` fixture's statistics (min time
 over warmed rounds), not a single un-warmed wall-clock run — the old
 approach was flaky on loaded machines.
 
-Sharded rows carry two rates: honest wall-clock packets/s, and a
-makespan-modeled aggregate (``packets / max(per-worker busy seconds)``
-from ``pipeline.last_shard_report``) that models the fan-out on a host
-with at least ``workers`` free cores. On a single-core CI runner the
-forked workers time-slice one core, so wall-clock cannot show the
-scaling the architecture provides; the model uses each worker's
-measured busy time and assumes only that the workers overlap. Busy
-seconds come from a warmed in-process run of the same partitions
-(``REPRO_PISA_SHARD_MODE=inline``): a freshly forked child pays
-copy-on-write page faults on every inherited object it touches, which
-inflates its CPU time ~2x — a per-fork artifact a persistent worker
-pool would not pay, so it belongs in the wall-clock rows (where it is
-reported) but not in the compute model.
+Sharded rows carry two rates side by side: **wall** — honest wall-clock
+packets/s, the number the CI gate enforces — and **modeled** — a
+makespan aggregate (``packets / max(per-worker busy seconds)`` from
+``pipeline.last_shard_report``) that models the fan-out on a host with
+at least ``workers`` free cores. On a single-core runner the workers
+time-slice one core, so wall-clock cannot show core scaling; the model
+uses each worker's measured CPU seconds and assumes only that the
+workers overlap. With the persistent pool (:mod:`repro.pisa.pool`) the
+busy seconds come from the pooled run itself — pool workers pay no
+per-batch fork tax, so their CPU time needs no laundering through an
+inline re-run the way the old fork-per-batch mode did.
+
+The sharded baseline (``sharded_vector_baseline_pkts_per_s``) is the
+single-process vector engine *at the sharded batch size*: the vector
+row's ``PACKETS``-sized batch runs hotter per packet (smaller working
+set), so comparing sharded wall-clock against it would mix batch-size
+effects into the fan-out ratio. ``wall_speedup_over_vector`` and the
+per-worker-count ``sharded_w{N}_wall_speedup_over_vector`` ratios —
+what the sim-bench CI gate reads (≥ 0.9 everywhere, ≥ 2.0 at 4 workers
+on multi-core runners) — divide same-sized batches only. A
+fork-per-batch comparison row (``sharded_w4_fork_pkts_per_s``)
+documents what the pool replaced.
 """
 
 import json
@@ -86,6 +95,20 @@ def _record(updates: dict) -> dict:
             payload["sharded_w4_modeled_pkts_per_s"]
             / payload["vector_pkts_per_s"]
         )
+    # Wall-clock fan-out ratios against the same-sized single-process
+    # vector baseline — the numbers the sim-bench CI gate enforces.
+    baseline = payload.get("sharded_vector_baseline_pkts_per_s")
+    if baseline:
+        for w in (1, 2, 4):
+            key = f"sharded_w{w}_pkts_per_s"
+            if key in payload:
+                payload[f"sharded_w{w}_wall_speedup_over_vector"] = (
+                    payload[key] / baseline
+                )
+        if "sharded_w4_pkts_per_s" in payload:
+            payload["wall_speedup_over_vector"] = (
+                payload["sharded_w4_pkts_per_s"] / baseline
+            )
     BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
@@ -126,59 +149,115 @@ def test_vector_packet_throughput(benchmark):
         assert rate >= payload["compiled_pkts_per_s"], payload
 
 
-def test_sharded_throughput(benchmark, monkeypatch):
-    """Vector engine behind the flow-sharded fan-out, 1/2/4 workers.
+def _timed(run):
+    import time
 
-    One pytest-benchmark entry (workers=4 wall-clock); the 1/2-worker
-    rows and the makespan models are measured inline and merged into
-    the JSON, since the fixture allows one benchmark per test.
+    t0 = time.perf_counter()
+    run()
+    return time.perf_counter() - t0
+
+
+def test_sharded_throughput(benchmark, monkeypatch):
+    """Vector engine behind the persistent-pool fan-out, 1/2/4 workers.
+
+    One pytest-benchmark entry (workers=4 wall-clock); the baseline,
+    the 1/2-worker rows, the makespan models, and the fork-per-batch
+    comparison row are measured inline and merged into the JSON, since
+    the fixture allows one benchmark per test.
+
+    Every recorded rate comes from the *same* interleaved measurement
+    loop: each round times baseline, w1, w2, w4 back to back, and each
+    config keeps its best round. On frequency-scaled hosts the clock
+    drifts over the session; measuring the configs sequentially would
+    hand whichever ran at the higher clock a phantom speedup, which on
+    a gated ratio means flaky CI. Interleaving exposes every config to
+    the same drift.
     """
+    import time
+
     compiled, packets = _cms_setup(SHARD_PACKETS)
     results = {}
+    rows = []
+
+    # Spin briefly so a frequency-scaled core is at speed before any
+    # timing starts.
+    t0 = time.perf_counter()
+    while time.perf_counter() - t0 < 1.0:
+        sum(range(10_000))
+
+    # Single-process vector at the SAME batch size: the denominator of
+    # every wall-clock fan-out ratio (see module docstring).
+    base_pipe = Pipeline(compiled, engine="vector")
+    pool_pipes = {w: Pipeline(compiled, engine="vector") for w in (1, 2, 4)}
+
+    def base_run():
+        base_pipe.process_many(packets, collect=False)
+
+    def pool_run(workers):
+        pool_pipes[workers].process_many(
+            packets, collect=False, workers=workers)
+
+    runs = [("base", base_run)] + [
+        (w, lambda w=w: pool_run(w)) for w in (1, 2, 4)]
+    for _ in range(2):  # warmup; first pooled call also spawns workers
+        for _, run in runs:
+            run()
+    best = {}
+    for _ in range(6):
+        for key, run in runs:
+            dt = _timed(run)
+            best[key] = min(best.get(key, dt), dt)
+
+    baseline = SHARD_PACKETS / best["base"]
+    results["sharded_vector_baseline_pkts_per_s"] = baseline
+    rows.append(("vector 1p", baseline, baseline))
+
     for workers in (1, 2, 4):
-        pipe = Pipeline(compiled, engine="vector")
-
-        def run():
-            pipe.process_many(packets, collect=False, workers=workers)
-
-        if workers == 4:
-            benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
-            best = benchmark.stats.stats.min
-        else:
-            import time
-
-            run()  # warmup
-            best = None
-            for _ in range(3):
-                t0 = time.perf_counter()
-                run()
-                dt = time.perf_counter() - t0
-                best = dt if best is None else min(best, dt)
-        wall = SHARD_PACKETS / best
+        pipe = pool_pipes[workers]
+        wall = SHARD_PACKETS / best[workers]
         if workers == 1:
             modeled = wall
         else:
             # Makespan model: workers overlap, so the batch completes
-            # when the busiest worker does. Per-worker busy seconds are
-            # taken from a warmed in-process run of the same partitions
-            # so fork copy-on-write faults don't pollute the model (see
-            # module docstring); wall above keeps them on the record.
-            monkeypatch.setenv("REPRO_PISA_SHARD_MODE", "inline")
-            try:
-                run()
-            finally:
-                monkeypatch.delenv("REPRO_PISA_SHARD_MODE")
+            # when the busiest worker does. Pool workers report their
+            # own CPU seconds — no per-batch fork tax to launder out.
             report = pipe.last_shard_report
-            assert report["mode"] == "inline"
+            assert report["mode"] == "pool", report
             modeled = SHARD_PACKETS / max(report["busy_seconds"])
         results[f"sharded_w{workers}_pkts_per_s"] = wall
         results[f"sharded_w{workers}_modeled_pkts_per_s"] = modeled
-        print(f"\nsharded workers={workers}: ~{wall:,.0f} packets/s wall, "
-              f"~{modeled:,.0f} modeled")
+        rows.append((f"pool w{workers}", wall, modeled))
+
+    # The pytest-benchmark fixture entry (w4 wall-clock) — recorded
+    # rates above come from the interleaved loop, not this.
+    benchmark.pedantic(lambda: pool_run(4), rounds=3, iterations=1)
+    for pipe in pool_pipes.values():
+        pipe.close()
+
+    # Fork-per-batch comparison row: what the pool replaced.
+    monkeypatch.setenv("REPRO_PISA_SHARD_MODE", "fork")
+    fork_pipe = Pipeline(compiled, engine="vector")
+    fork_best = None
+    for i in range(3):
+        dt = _timed(lambda: fork_pipe.process_many(
+            packets, collect=False, workers=4))
+        fork_best = dt if fork_best is None else min(fork_best, dt)
+    monkeypatch.delenv("REPRO_PISA_SHARD_MODE")
+    fork_wall = SHARD_PACKETS / fork_best
+    results["sharded_w4_fork_pkts_per_s"] = fork_wall
+    rows.append(("fork w4", fork_wall, None))
+
     payload = _record(results)
-    if "sharded_w4_modeled_speedup_over_vector" in payload:
-        print("modeled w4 speedup over single-process vector: "
-              f"{payload['sharded_w4_modeled_speedup_over_vector']:.1f}x")
+    print(f"\nsharded throughput ({SHARD_PACKETS:,} packets):")
+    print(f"  {'config':<10} {'wall pkt/s':>14} {'modeled pkt/s':>14} "
+          f"{'wall/vector':>12}")
+    for label, wall, modeled in rows:
+        ratio = f"{wall / baseline:.2f}x"
+        mod = f"{modeled:>14,.0f}" if modeled is not None else f"{'—':>14}"
+        print(f"  {label:<10} {wall:>14,.0f} {mod} {ratio:>12}")
+    if "wall_speedup_over_vector" in payload:
+        print("wall w4 speedup over single-process vector: "
+              f"{payload['wall_speedup_over_vector']:.2f}x")
 
 
 def test_reference_sketch_throughput(benchmark):

@@ -736,10 +736,18 @@ class FleetController:
 
     # -- teardown ----------------------------------------------------------------
     def close(self) -> None:
-        """Stop worker processes (parallel mode); idempotent."""
+        """Stop worker processes and per-switch pipelines; idempotent.
+
+        Each installed pipeline may hold a persistent sharded worker
+        pool (:mod:`repro.pisa.pool`); closing it here keeps fleet
+        teardown from leaking pool children.
+        """
         if self._workers is not None:
             self._workers.close()
             self._workers = None
+        for node in self.topology.switches.values():
+            if node.app is not None and node.app.pipeline is not None:
+                node.app.pipeline.close()
 
     def __enter__(self) -> "FleetController":
         return self

@@ -121,6 +121,9 @@ class Pipeline:
         self.vector_chunk = 8192
         #: Stats of the last sharded process_many (see repro.pisa.sharded).
         self.last_shard_report = None
+        #: Persistent sharded worker pool (see repro.pisa.pool), attached
+        #: lazily by the first pooled workers>1 batch, torn down by close().
+        self._pool = None
         if self.engine in ("compiled", "vector"):
             from .compiled import build_plan
 
@@ -280,7 +283,40 @@ class Pipeline:
                         f"{fam}[{idx}] living in stage {reg_stage}"
                     )
 
+    # -- lifecycle ---------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down the persistent sharded worker pool, if any.
+
+        Reaps the pool's worker processes and releases its shared-memory
+        segments. Safe at any time: called mid-batch (e.g. from a
+        :meth:`process_many` callback) the teardown is deferred to the
+        next :meth:`quiesce` drain point, never racing in-flight
+        workers. Idempotent, and the pipeline stays usable — the next
+        ``workers > 1`` batch just spawns a fresh pool. ``with
+        Pipeline(...) as pipe:`` closes on exit.
+        """
+        self.quiesce(self._close_pool)
+
+    def _close_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     # -- control plane -------------------------------------------------------------
+    def _journal_table_op(self, op: tuple) -> None:
+        """Forward a table mutation to the pool's replay journal, so its
+        workers' cached vector plans are invalidated and re-lowered at
+        the next batch instead of forcing a respawn."""
+        pool = self._pool
+        if pool is not None and pool.alive:
+            pool.note_table_op(op, self)
+
     def table_add(self, table: str, match: tuple, action: str,
                   action_data: tuple = (), priority: int = 0) -> None:
         """Install a match-action rule (control-plane operation)."""
@@ -288,12 +324,18 @@ class Pipeline:
             TableEntry(match=match, action=action,
                        action_data=action_data, priority=priority)
         )
+        self._journal_table_op(("add", table, match, action,
+                                action_data, priority))
 
     def table_remove(self, table: str, match: tuple) -> bool:
-        return self.tables[table].remove_entry(match)
+        removed = self.tables[table].remove_entry(match)
+        if removed:
+            self._journal_table_op(("remove", table, match))
+        return removed
 
     def table_clear(self, table: str) -> None:
         self.tables[table].clear()
+        self._journal_table_op(("clear", table))
 
     def register_dump(self, family: str, index: int = 0):
         """Read a whole register array (control-plane snapshot)."""

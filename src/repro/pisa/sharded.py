@@ -23,14 +23,31 @@ join exact where the algebra allows it:
   call this caveat out; workloads needing stronger semantics should
   stay single-process.
 
-Workers are forked (``multiprocessing`` ``fork`` context): the child
-inherits the pipeline by memory image — nothing is pickled on the way
-in, and per-worker results/deltas return over a pipe. On platforms
-without ``fork`` the partitions run sequentially in-process, which is
-merely slower, never wrong. Each child reports its busy seconds so
-callers (the throughput benchmark, the fleet controller) can compute a
-makespan-modeled aggregate next to honest wall-clock numbers; the
-parent records both on ``pipeline.last_shard_report``.
+Three execution modes share that merge discipline, selected by
+``REPRO_PISA_SHARD_MODE`` (default ``auto``):
+
+* ``pool`` — the persistent shared-memory worker pool
+  (:mod:`repro.pisa.pool`): workers forked once per pipeline, PHV
+  columns scattered through shared memory, vector plans cached across
+  batches. The fast path, and what ``auto`` picks whenever the
+  pipeline has a usable vector plan and the platform can fork.
+* ``fork`` — fork-per-batch: each batch forks fresh children that
+  inherit the pipeline by memory image — nothing is pickled on the way
+  in, and per-worker results/deltas return over a pipe. Engine-
+  independent (works for ``compiled``/``interp`` pipelines the pool
+  cannot serve) but pays copy-on-write and pickling tax every batch.
+* ``inline`` — the partitions run sequentially in-process: merely
+  slower, never wrong. The fallback on platforms without ``fork``.
+
+A mode the caller asked for (explicitly or via ``auto``'s preference
+order) that cannot be honored **degrades loudly**: a
+``pisa.shard.degraded`` trace event plus the
+``p4all_shard_degraded_total`` counter fire, and the report records
+``requested_mode`` next to the actual ``mode`` — callers can always
+tell they got sequential execution. Each worker reports its busy
+seconds so callers (the throughput benchmark, the fleet controller)
+can compute a makespan-modeled aggregate next to honest wall-clock
+numbers; the parent records both on ``pipeline.last_shard_report``.
 """
 
 from __future__ import annotations
@@ -42,9 +59,15 @@ from typing import Optional
 import numpy as np
 
 from ..lang import ast
+from ..obs import metrics as obs_metrics
+from ..obs import trace
 from .compiled import _REG_METHODS, _NotStatic, _fold
 
-__all__ = ["run_sharded", "classify_registers", "shard_assignments"]
+__all__ = ["run_sharded", "classify_registers", "shard_assignments",
+           "SHARD_MODES"]
+
+#: Recognized REPRO_PISA_SHARD_MODE values.
+SHARD_MODES = ("auto", "pool", "fork", "inline")
 
 _MASK64 = (1 << 64) - 1
 _ADDITIVE = frozenset({"add", "add_read", "cond_add", "cond_add_read"})
@@ -241,8 +264,70 @@ def run_sharded(pipeline, packets, collect: bool, workers: int,
         pipeline._quiesce_pending[:0] = stash
 
 
+def _count_batch(mode: str) -> None:
+    obs_metrics.counter(
+        "p4all_shard_batches_total",
+        help="Sharded process_many batches by execution mode actually used.",
+        labels=("shard_mode",),
+    ).inc(shard_mode=mode)
+
+
+def _note_degraded(requested: str, actual: str, reason: str) -> None:
+    """A parallel mode the caller asked for could not be honored."""
+    trace.event("pisa.shard.degraded", requested=requested, actual=actual,
+                reason=reason)
+    obs_metrics.counter(
+        "p4all_shard_degraded_total",
+        help="Sharded batches that fell back from the requested mode.",
+        labels=("shard_mode", "reason"),
+    ).inc(shard_mode=actual, reason=reason)
+
+
+_POOL_MISSED = object()
+
+
+def _try_pool(pipeline, packets, collect, workers, shard_field, want):
+    """Run the batch on the persistent pool, or return ``_POOL_MISSED``.
+
+    Pool *attach* failures (no fork, dead spawn) degrade; failures
+    *during* a pooled batch are real simulation errors and propagate.
+    """
+    from .pool import PoolUnavailable, ensure_pool
+
+    vplan = pipeline.vplan
+    if vplan is None or not vplan.ok:
+        if want == "pool":
+            _note_degraded(want, "fork", "no_vector_plan")
+        return _POOL_MISSED
+    try:
+        pool = ensure_pool(pipeline, workers)
+    except PoolUnavailable as exc:
+        _note_degraded(want, "fork", f"pool_unavailable: {exc}")
+        return _POOL_MISSED
+    result, report = pool.run(pipeline, packets, collect, shard_field)
+    report["requested_mode"] = want
+    pipeline.last_shard_report = report
+    _count_batch("pool")
+    return result
+
+
 def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
     n = len(packets)
+    # REPRO_PISA_SHARD_MODE picks the execution mode (see module doc):
+    # auto prefers the persistent pool when the pipeline has a usable
+    # vector plan, falling back fork -> inline; pool/fork/inline insist,
+    # degrading loudly when the platform cannot honor them. inline is
+    # also what the throughput benchmark uses to measure per-worker busy
+    # seconds without fork copy-on-write noise.
+    want = os.environ.get("REPRO_PISA_SHARD_MODE", "auto")
+    if want not in SHARD_MODES:
+        raise ValueError(
+            f"REPRO_PISA_SHARD_MODE={want!r} is not one of {SHARD_MODES}")
+    if want in ("auto", "pool"):
+        result = _try_pool(pipeline, packets, collect, workers,
+                           shard_field, want)
+        if result is not _POOL_MISSED:
+            return result
     assign = shard_assignments(packets, workers, shard_field)
     lanes = [np.nonzero(assign == w)[0] for w in range(workers)]
     shards = [[packets[i] for i in lane.tolist()] for lane in lanes]
@@ -250,11 +335,6 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
 
     import multiprocessing as mp
 
-    # REPRO_PISA_SHARD_MODE=inline forces the sequential in-process
-    # path (used by the throughput benchmark to measure per-worker busy
-    # seconds without fork copy-on-write noise); =fork insists on forked
-    # workers where available; default auto prefers fork.
-    want = os.environ.get("REPRO_PISA_SHARD_MODE", "auto")
     if want == "inline":
         ctx = None
     else:
@@ -262,6 +342,8 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
             ctx = mp.get_context("fork")
         except ValueError:
             ctx = None
+        if ctx is None:
+            _note_degraded(want, "inline", "fork_unavailable")
 
     counts: list[int] = []
     busys: list[float] = []
@@ -338,8 +420,10 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
         "counts": counts,
         "busy_seconds": busys,
         "mode": mode,
+        "requested_mode": want,
         "register_classes": classes,
     }
+    _count_batch(mode)
     if not collect:
         return n
     out: list = [None] * n

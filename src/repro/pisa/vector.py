@@ -1181,6 +1181,22 @@ class VectorPlan:
             _merge_hits(hits, name, hit, ran if not ran.all() else None, n)
 
     # -- execution -------------------------------------------------------------
+    def run_stages(self, batch: PhvBatch, hits: dict) -> None:
+        """Run a pre-built batch through every stage, in place.
+
+        The persistent worker pool (:mod:`repro.pisa.pool`) calls this
+        directly on shared-memory column slices; :meth:`run_batch` wraps
+        it with packet loading and result materialization.
+        """
+        for splan, kernel in self.stage_exec:
+            if kernel is None:
+                self._run_island(splan, batch, hits)
+            else:
+                try:
+                    kernel(batch, hits)
+                except _VectorBail:
+                    self._run_island(splan, batch, hits)
+
     def run_batch(self, packets, collect: bool = True):
         """Run a packet list through all stages; returns results or count."""
         if not isinstance(packets, list):
@@ -1190,14 +1206,7 @@ class VectorPlan:
             return [] if collect else 0
         batch = self._load(packets)
         hits: dict = {}
-        for splan, kernel in self.stage_exec:
-            if kernel is None:
-                self._run_island(splan, batch, hits)
-            else:
-                try:
-                    kernel(batch, hits)
-                except _VectorBail:
-                    self._run_island(splan, batch, hits)
+        self.run_stages(batch, hits)
         self.pipeline.packets_processed += n
         if not collect:
             return n

@@ -193,7 +193,12 @@ class TestConflictError:
 
 
 class TestSharded:
-    def test_additive_merge_bit_exact(self):
+    # Both multiprocess modes must satisfy the same merge contract:
+    # "pool" is the persistent worker pool, "fork" the per-batch
+    # fallback it replaced.
+    @pytest.mark.parametrize("mode", ["pool", "fork"])
+    def test_additive_merge_bit_exact(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_PISA_SHARD_MODE", mode)
         compiled, _ = build(COUNTER)
         flows = [i % 7 for i in range(400)]
         seq = Pipeline(compiled, engine="vector")
@@ -206,16 +211,20 @@ class TestSharded:
             assert shard.packets_processed == 400
             assert register_state(seq) == register_state(shard)
             report = shard.last_shard_report
+            assert report["mode"] == mode
             assert report["workers"] == workers
             assert sum(report["counts"]) == 400
             assert all(b >= 0 for b in report["busy_seconds"])
+            shard.close()
 
-    def test_lane_order_preserved(self):
+    @pytest.mark.parametrize("mode", ["pool", "fork"])
+    def test_lane_order_preserved(self, monkeypatch, mode):
+        monkeypatch.setenv("REPRO_PISA_SHARD_MODE", mode)
         compiled, _ = build(COUNTER)
-        pipe = Pipeline(compiled, engine="vector")
-        flows = [(i * 31) % 97 for i in range(120)]
-        results = pipe.process_many(packets_for(flows), workers=2)
-        assert [r.get("meta.flow_id") for r in results] == flows
+        with Pipeline(compiled, engine="vector") as pipe:
+            flows = [(i * 31) % 97 for i in range(120)]
+            results = pipe.process_many(packets_for(flows), workers=2)
+            assert [r.get("meta.flow_id") for r in results] == flows
 
     def test_same_key_routes_to_one_worker(self):
         pkts = packets_for([3] * 10 + [8] * 10)
