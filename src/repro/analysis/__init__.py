@@ -18,7 +18,7 @@ from .bounds_check import (
     collect_index_diagnostics,
 )
 from .depgraph import DependencyGraph, DepNode
-from .dot import graph_to_dot
+from .dot import flow_to_dot, graph_to_dot, witness_edges
 from .liveness import FieldLiveness, LivenessReport, analyze_phv_liveness
 from .dependencies import AnalysisError, build_dependency_graph, classify_pair
 from .ir import (
@@ -31,7 +31,16 @@ from .ir import (
     build_ir,
     field_key,
     instantiate,
+    module_of_instance,
     substitute,
+)
+from .taint import (
+    FlowDiagnostic,
+    TaintResult,
+    cross_module_flows,
+    field_owner,
+    propagate_taint,
+    taint_program,
 )
 from .unroll import (
     BoundResult,
@@ -49,7 +58,9 @@ __all__ = [
     "extract_numeric_bounds",
     "DependencyGraph",
     "DepNode",
+    "flow_to_dot",
     "graph_to_dot",
+    "witness_edges",
     "FieldLiveness",
     "LivenessReport",
     "analyze_phv_liveness",
@@ -65,7 +76,14 @@ __all__ = [
     "build_ir",
     "field_key",
     "instantiate",
+    "module_of_instance",
     "substitute",
+    "FlowDiagnostic",
+    "TaintResult",
+    "cross_module_flows",
+    "field_owner",
+    "propagate_taint",
+    "taint_program",
     "BoundResult",
     "UnrollBounds",
     "UnrollOptions",

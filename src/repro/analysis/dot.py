@@ -3,33 +3,120 @@
 Figure 9's pictures are dependency graphs; ``p4all graph`` renders the
 same for any program: precedence edges solid and directed, exclusion
 edges dashed and undirected, same-stage groups merged into single nodes.
+
+The taint verifier's findings render onto the same picture:
+``graph_to_dot`` optionally colors nodes by owning module and paints
+cross-module flow edges red, and ``flow_to_dot`` renders one
+:class:`~repro.analysis.taint.FlowDiagnostic` witness path as its own
+graph (registers as cylinders, PHV fields as ellipses, carrying
+instances as edge labels).
 """
 
 from __future__ import annotations
 
 from .depgraph import DependencyGraph
 
-__all__ = ["graph_to_dot"]
+__all__ = ["graph_to_dot", "flow_to_dot", "witness_edges"]
+
+#: Stable fill palette for per-module node coloring (cycled).
+_PALETTE = (
+    "#aec7e8", "#ffbb78", "#98df8a", "#ff9896", "#c5b0d5", "#c49c94",
+)
 
 
 def _quote(text: str) -> str:
     return '"' + text.replace('"', r"\"") + '"'
 
 
-def graph_to_dot(graph: DependencyGraph, title: str = "dependencies") -> str:
-    """Render a dependency graph in DOT format."""
+def _node_module(node, modules: dict) -> str | None:
+    for inst in node.instances:
+        module = modules.get(inst.label)
+        if module is not None:
+            return module
+    return None
+
+
+def witness_edges(flows) -> set:
+    """``(carrier_a, carrier_b)`` instance-label pairs of consecutive
+    witness steps, for highlighting via ``graph_to_dot(flow_edges=...)``."""
+    edges: set = set()
+    for flow in flows:
+        for a, b in zip(flow.via, flow.via[1:]):
+            edges.add((a, b))
+    return edges
+
+
+def graph_to_dot(
+    graph: DependencyGraph,
+    title: str = "dependencies",
+    modules: dict | None = None,
+    flow_edges=None,
+) -> str:
+    """Render a dependency graph in DOT format.
+
+    ``modules`` (instance label → owning module) fills each node with a
+    per-module color; ``flow_edges`` (pairs of instance labels, e.g.
+    from :func:`witness_edges`) paints matching precedence edges red.
+    Both default to off, leaving the classic rendering untouched.
+    """
     lines = [
         f"digraph {_quote(title)} {{",
         "    rankdir=LR;",
         '    node [shape=box, fontname="monospace"];',
     ]
+    colors: dict[str, str] = {}
+    if modules:
+        for i, module in enumerate(sorted(set(modules.values()))):
+            colors[module] = _PALETTE[i % len(_PALETTE)]
     for node in graph.nodes:
-        lines.append(f"    n{node.node_id} [label={_quote(node.label)}];")
+        attrs = f"label={_quote(node.label)}"
+        module = _node_module(node, modules) if modules else None
+        if module is not None:
+            attrs += (f", style=filled, "
+                      f"fillcolor={_quote(colors[module])}")
+        lines.append(f"    n{node.node_id} [{attrs}];")
+    hot = {tuple(edge) for edge in (flow_edges or ())}
     for src, dst in graph.precedence_edges():
-        lines.append(f"    n{src.node_id} -> n{dst.node_id};")
+        style = ""
+        if hot:
+            src_labels = {i.label for i in src.instances}
+            dst_labels = {i.label for i in dst.instances}
+            if any((a, b) in hot
+                   for a in src_labels for b in dst_labels):
+                style = " [color=red, penwidth=2.0]"
+        lines.append(f"    n{src.node_id} -> n{dst.node_id}{style};")
     for a, b in graph.exclusion_edges():
         lines.append(
             f"    n{a.node_id} -> n{b.node_id} [dir=none, style=dashed];"
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def flow_to_dot(flow, title: str | None = None) -> str:
+    """Render one cross-module flow's witness path in DOT format.
+
+    Register-family nodes draw as cylinders, PHV fields as ellipses;
+    each hop is labeled with the action instance that carried the
+    taint. The sink is outlined red.
+    """
+    name = title or f"flow {flow.source} -> {flow.sink_module}"
+    lines = [
+        f"digraph {_quote(name)} {{",
+        "    rankdir=LR;",
+        '    node [fontname="monospace"];',
+    ]
+    nodes = flow.witness or (flow.sink,)
+    for i, node in enumerate(nodes):
+        shape = "ellipse" if "." in node else "cylinder"
+        attrs = f"label={_quote(node)}, shape={shape}"
+        if i == len(nodes) - 1:
+            attrs += ", color=red, penwidth=2.0"
+        lines.append(f"    w{i} [{attrs}];")
+    for i in range(len(nodes) - 1):
+        step = flow.via[i] if i < len(flow.via) else "?"
+        lines.append(
+            f"    w{i} -> w{i + 1} [label={_quote(step)}, color=red];"
         )
     lines.append("}")
     return "\n".join(lines)

@@ -5,6 +5,8 @@ Subcommands::
     p4all compile prog.p4all --target tofino [-o out.p4] [--report]
     p4all compile a.p4all b.p4all --weights a=2,b=1   # link modules
                                                       # into one layout
+    p4all verify  a.p4all b.p4all [--netcache]   # cross-tenant flow
+                                                 # matrix + witnesses
     p4all bounds  prog.p4all --target tofino     # unroll bounds only
     p4all graph   prog.p4all                     # dependency graph (DOT)
     p4all run     [--packets N] [--cut-at N] [--engine E] [--profile]
@@ -201,6 +203,59 @@ def _compile_body(args) -> int:
     if args.report:
         print(layout_report(compiled), file=sys.stderr)
     return 0
+
+
+def _cmd_verify(args) -> int:
+    return _with_obs(args, _verify_body)
+
+
+def _verify_body(args) -> int:
+    from .core import compile_linked
+    from .link import link_files
+
+    target = _resolve_target(args)
+    weights = _parse_name_values(args.weights, "--weights") if args.weights else None
+    floors = _parse_name_values(args.floors, "--floors") if args.floors else None
+    if args.netcache:
+        from .apps import netcache_linked
+
+        linked = netcache_linked()
+    elif args.programs:
+        # Link permissively: the point of `verify` is to *report* every
+        # cross-module flow, so linking must not abort on the first one.
+        linked = link_files(
+            args.programs, weights=weights, floors=floors,
+            entry=args.entry, allow_cross_module_state=True,
+        )
+    else:
+        print("error: give .p4all programs or --netcache", file=sys.stderr)
+        return 2
+    compiled = compile_linked(linked, target, options=_compile_options(args))
+    result = compiled.verify
+    modules = result.modules if result is not None else []
+    print(f"verified {len(modules)} modules "
+          f"({', '.join(modules) or 'none'}) on {target.name}")
+    if result is None or result.clean:
+        for mod in modules:
+            print(f"  {mod}: isolated (no foreign state reaches it)")
+        print("isolation verified: no cross-module state flows")
+        return 0
+    matrix = result.flow_matrix()
+    print(f"cross-module flows ({len(result.flows)}):")
+    for (source, sink), count in sorted(matrix.items()):
+        print(f"  {source} -> {sink}: {count} flow(s)")
+    for flow in result.flows:
+        print(f"    {flow.sink_kind} '{flow.sink}' of '{flow.sink_module}' "
+              f"tainted by '{flow.source}' "
+              f"(witness: {flow.witness_text()})")
+    for mod in modules:
+        influencers = sorted(result.influencers(mod))
+        if influencers:
+            print(f"  {mod}: influenced by {', '.join(influencers)}")
+    if args.allow_cross_module_state:
+        print("flows allowed by --allow-cross-module-state", file=sys.stderr)
+        return 0
+    return 1
 
 
 def _cmd_bounds(args) -> int:
@@ -471,6 +526,39 @@ def build_parser() -> argparse.ArgumentParser:
     _add_solver_args(p_compile)
     _add_obs_args(p_compile)
     p_compile.set_defaults(func=_cmd_compile)
+
+    p_verify = sub.add_parser(
+        "verify",
+        help="link modules and print the cross-tenant state-flow matrix "
+             "with witness paths; exits 1 on any cross-module flow",
+    )
+    p_verify.add_argument(
+        "programs", nargs="*", metavar="program",
+        help="path(s) to .p4all sources to link and verify",
+    )
+    p_verify.add_argument(
+        "--netcache", action="store_true",
+        help="verify the built-in NetCache module pair instead of files",
+    )
+    p_verify.add_argument(
+        "--weights", default=None, metavar="NAME=W,...",
+        help="per-module utility weights, e.g. cms=2,kv=1",
+    )
+    p_verify.add_argument(
+        "--floors", default=None, metavar="NAME=F,...",
+        help="per-module minimum weighted utility (ILP constraints)",
+    )
+    p_verify.add_argument(
+        "--allow-cross-module-state", action="store_true",
+        help="report flows but exit 0 (the linked program sanctions "
+             "cross-module state sharing)",
+    )
+    p_verify.add_argument("--entry", default="Ingress",
+                          help="ingress control name")
+    _add_target_arg(p_verify)
+    _add_solver_args(p_verify)
+    _add_obs_args(p_verify)
+    p_verify.set_defaults(func=_cmd_verify)
 
     p_bounds = sub.add_parser("bounds", help="show loop-unrolling upper bounds")
     p_bounds.add_argument("program")

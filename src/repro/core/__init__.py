@@ -41,7 +41,13 @@ from .report import (
     summary_line,
 )
 from .tablemem import table_memory_bits
-from .validate import LayoutValidationError, validate_layout
+from .validate import (
+    LayoutValidationError,
+    TaintMismatchError,
+    VerifyResult,
+    validate_layout,
+    verify_taint,
+)
 
 __all__ = [
     "CacheStats",
@@ -76,5 +82,8 @@ __all__ = [
     "summary_line",
     "table_memory_bits",
     "LayoutValidationError",
+    "TaintMismatchError",
+    "VerifyResult",
     "validate_layout",
+    "verify_taint",
 ]

@@ -80,6 +80,8 @@ class CacheStats:
     bounds_misses: int = 0
     layout_hits: int = 0
     layout_misses: int = 0
+    verify_hits: int = 0
+    verify_misses: int = 0
     invalidations: int = 0
     evictions: int = 0
 
@@ -93,6 +95,8 @@ class CacheStats:
             "bounds_misses": self.bounds_misses,
             "layout_hits": self.layout_hits,
             "layout_misses": self.layout_misses,
+            "verify_hits": self.verify_hits,
+            "verify_misses": self.verify_misses,
             "invalidations": self.invalidations,
             "evictions": self.evictions,
         }
@@ -114,13 +118,14 @@ class _FrontendEntry:
 class CompileCache:
     """Memoizes compilation phases across recompiles.
 
-    Three tiers, from cheapest to most complete:
+    Four tiers, from cheapest to most complete:
 
     ========  ==========================================  =====================
     tier      holds                                       keyed by
     ========  ==========================================  =====================
     frontend  AST + semantic info + IR                    (source hash, entry)
     bounds    loop-unroll upper bounds                    + (target, unroll opts)
+    verify    taint/isolation verification result         + chosen symbol values
     layout    the full ``CompiledProgram``                + (backend, time
                                                           limit, layout opts)
     ========  ==========================================  =====================
@@ -139,6 +144,7 @@ class CompileCache:
         self._modules: dict[str, Any] = {}
         self._bounds: dict[tuple, UnrollBounds] = {}
         self._layouts: OrderedDict[tuple, "CompiledProgram"] = OrderedDict()
+        self._verify: dict[tuple, Any] = {}
 
     # -- phase 1-2: parse + check + IR -------------------------------------------
     def frontend(self, source: str, entry: str, source_name: str = "<string>"):
@@ -280,6 +286,37 @@ class CompileCache:
                     help="Layout-tier LRU evictions.",
                 ).inc()
 
+    # -- verification tier -----------------------------------------------------------
+    def verify(self, source: str, entry: str, target: TargetSpec,
+               symbol_values: dict, build):
+        """Return ``(verify_result, hit)`` for one compiled artifact.
+
+        Taint verification depends only on the program text, the entry
+        point, and the chosen symbolic values (the unroll depth fixes
+        which instances exist) — the target matters only through those
+        values, but it is part of the key so invalidation stays simple
+        and a target change can never alias. Warm recompiles of an
+        unchanged program therefore skip re-verification entirely.
+        """
+        key = (
+            source_fingerprint(source),
+            entry,
+            target,
+            tuple(sorted(symbol_values.items())),
+        )
+        with self._lock:
+            cached = self._verify.get(key)
+        if cached is not None:
+            self.stats.verify_hits += 1
+            _count_request("verify", True)
+            return cached, True
+        self.stats.verify_misses += 1
+        _count_request("verify", False)
+        value = build()
+        with self._lock:
+            self._verify[key] = value
+        return value, False
+
     # -- invalidation --------------------------------------------------------------
     def invalidate(self, source: str | None = None) -> int:
         """Drop cached artifacts; returns the number of entries removed.
@@ -291,15 +328,18 @@ class CompileCache:
         with self._lock:
             if source is None:
                 removed = (len(self._frontend) + len(self._modules)
-                           + len(self._bounds) + len(self._layouts))
+                           + len(self._bounds) + len(self._layouts)
+                           + len(self._verify))
                 self._frontend.clear()
                 self._modules.clear()
                 self._bounds.clear()
                 self._layouts.clear()
+                self._verify.clear()
             else:
                 fp = source_fingerprint(source)
                 removed = 0
-                for store in (self._frontend, self._bounds, self._layouts):
+                for store in (self._frontend, self._bounds, self._layouts,
+                              self._verify):
                     stale = [k for k in store if k[0] == fp]
                     for k in stale:
                         del store[k]
@@ -325,6 +365,7 @@ class CompileCache:
             out["module_entries"] = len(self._modules)
             out["bounds_entries"] = len(self._bounds)
             out["layout_entries"] = len(self._layouts)
+            out["verify_entries"] = len(self._verify)
         return out
 
     def emit(self, telemetry, **extra) -> None:
@@ -337,5 +378,6 @@ class CompileCache:
             f"CompileCache(frontend {s.frontend_hits}h/{s.frontend_misses}m, "
             f"module {s.module_hits}h/{s.module_misses}m, "
             f"bounds {s.bounds_hits}h/{s.bounds_misses}m, "
-            f"layout {s.layout_hits}h/{s.layout_misses}m)"
+            f"layout {s.layout_hits}h/{s.layout_misses}m, "
+            f"verify {s.verify_hits}h/{s.verify_misses}m)"
         )

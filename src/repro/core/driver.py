@@ -208,6 +208,51 @@ def _assemble(
     return compiled
 
 
+def _verify_linked(compiled, pseudo_source, target, options, stats) -> None:
+    """Taint-verification phase for linked compiles (cached tier).
+
+    Runs :func:`~repro.core.validate.verify_taint` — the depgraph-level
+    taint pass plus the independent plan-level pass and their
+    cross-check — through the CompileCache ``verify`` tier when a cache
+    is installed, so a warm recompile of an unchanged program at the
+    same symbolic values never re-verifies. Also invoked on layout-tier
+    hits for exactly that reason.
+    """
+    from .validate import verify_taint
+
+    cache = options.cache
+    t0 = time.perf_counter()
+    with trace.span("compile.verify", source=compiled.source_name) as span:
+        if cache is not None:
+            result, hit = cache.verify(
+                pseudo_source, options.entry, target,
+                compiled.symbol_values,
+                lambda: verify_taint(compiled),
+            )
+        else:
+            result, hit = verify_taint(compiled), False
+        span.set_attrs(cached=hit, flows=len(result.flows))
+    stats.verify_seconds = time.perf_counter() - t0
+    stats.verify_cached = hit
+    compiled.verify = result
+
+    obs_metrics.histogram(
+        "p4all_verify_seconds",
+        help="Wall time of the compile-time taint-verification phase.",
+    ).observe(stats.verify_seconds)
+    flow_counter = obs_metrics.counter(
+        "p4all_verify_flows_total",
+        help="Verified compiles by isolation outcome: clean, or one "
+             "count per allowed cross-module flow.",
+        labels=("result",),
+    )
+    if result.flows:
+        for _flow in result.flows:
+            flow_counter.inc(result="flow")
+    else:
+        flow_counter.inc(result="clean")
+
+
 def _record_compile_metrics(stats: CompileStats, backend: str) -> None:
     """Per-compile counters and phase-latency histograms."""
     obs_metrics.counter(
@@ -228,6 +273,7 @@ def _record_compile_metrics(stats: CompileStats, backend: str) -> None:
     phases.observe(stats.ilp_build_seconds, phase="ilp_build")
     phases.observe(stats.ilp_solve_seconds, phase="ilp_solve")
     phases.observe(stats.codegen_seconds, phase="codegen")
+    phases.observe(stats.verify_seconds, phase="verify")
 
 
 def compile_source(
@@ -491,6 +537,13 @@ def compile_linked(
                     stats=dataclasses.replace(cached.stats,
                                               layout_cached=True),
                 )
+                if options.verify:
+                    # Warm recompile: the verify tier answers from cache
+                    # (same program, same symbol values), keeping the
+                    # isolation property checked on every build without
+                    # re-running the passes.
+                    _verify_linked(cached, pseudo, target, options,
+                                   cached.stats)
                 _record_compile_metrics(cached.stats, options.backend)
                 return cached
         stats = CompileStats()
@@ -534,6 +587,8 @@ def compile_linked(
             stats=stats,
         )
         compiled = _assemble(compiled, lm.instances, solution, options)
+        if options.verify:
+            _verify_linked(compiled, pseudo, target, options, stats)
         if cache is not None:
             cache.put_layout(pseudo, target, options, compiled)
         span.set_attrs(status=solution.status.value,
@@ -611,6 +666,9 @@ def _compile_linked_greedy_body(linked, target, options, span):
         stats=stats,
     )
     compiled = _assemble(compiled, result.instances, solution, options)
+    if options.verify:
+        _verify_linked(compiled, _linked_pseudo_source(linked), target,
+                       options, stats)
     span.set_attrs(status=solution.status.value,
                    symbols=dict(solution.symbol_values))
     _record_compile_metrics(stats, "greedy")

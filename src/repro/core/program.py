@@ -72,11 +72,13 @@ class CompileStats:
     ilp_build_seconds: float = 0.0
     ilp_solve_seconds: float = 0.0
     codegen_seconds: float = 0.0
+    verify_seconds: float = 0.0
     ilp_variables: int = 0
     ilp_constraints: int = 0
     frontend_cached: bool = False
     bounds_cached: bool = False
     layout_cached: bool = False
+    verify_cached: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -86,6 +88,7 @@ class CompileStats:
             + self.ilp_build_seconds
             + self.ilp_solve_seconds
             + self.codegen_seconds
+            + self.verify_seconds
         )
 
 
@@ -103,6 +106,10 @@ class CompiledProgram:
     registers: list[RegisterAlloc] = field(default_factory=list)
     p4_source: str = ""
     stats: CompileStats = field(default_factory=CompileStats)
+    #: taint-verification result (:class:`~repro.core.validate.VerifyResult`)
+    #: attached by the driver's verify phase; ``None`` when verification
+    #: was disabled or the program has no module namespace.
+    verify: object = None
 
     @property
     def symbol_values(self) -> dict[str, int]:

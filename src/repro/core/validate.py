@@ -15,17 +15,39 @@ activation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+
 from ..analysis.dependencies import build_dependency_graph
+from ..analysis.ir import instantiate, module_of_instance
+from ..analysis.taint import cross_module_flows, propagate_taint
 from ..lang.symbols import eval_static
+from ..pisa.plan import plan_taint
 from .errors import CompileError
 from .program import CompiledProgram
 from .tablemem import table_memory_bits
 
-__all__ = ["validate_layout", "LayoutValidationError"]
+__all__ = [
+    "validate_layout",
+    "LayoutValidationError",
+    "VerifyResult",
+    "TaintMismatchError",
+    "verify_taint",
+]
 
 
 class LayoutValidationError(CompileError):
     """A compiled layout violates a resource or dependency rule."""
+
+
+class TaintMismatchError(CompileError):
+    """The depgraph-level and plan-level taint passes disagree.
+
+    Both passes solve the same monotone dataflow equations, one over the
+    elaborated action instances and one over the lowered execution-plan
+    units, so a mismatch means lowering changed the program's dataflow —
+    a compiler bug that must fail the build loudly, never a property of
+    the input program.
+    """
 
 
 def _fail(message: str) -> None:
@@ -136,3 +158,108 @@ def validate_layout(
             _fail(f"symbolic {symbolic!r} value "
                   f"{compiled.symbol_values.get(symbolic)} != "
                   f"{len(iterations)} placed iterations")
+
+
+# ---------------------------------------------------------------------------
+# Taint verification (cross-tenant isolation), driver-level.
+
+
+@dataclass
+class _PlanUnitView:
+    """Effect surface of one placed unit, shaped like a plan unit."""
+
+    module: "str | None"
+    reads: frozenset
+    writes: frozenset
+    registers: frozenset
+
+
+@dataclass
+class VerifyResult:
+    """Outcome of the compile-time taint verification phase.
+
+    ``flows`` are the cross-module flows found in the artifact (already
+    downgraded by the linker — a disallowed flow never reaches the
+    compiler); ``field_taint``/``register_taint`` are the depgraph-level
+    labels; ``agree`` records that the independent plan-level pass
+    reproduced them (it is always ``True`` on a returned result —
+    disagreement raises :class:`TaintMismatchError` instead).
+    """
+
+    modules: list = field(default_factory=list)
+    flows: list = field(default_factory=list)
+    field_taint: dict = field(default_factory=dict)
+    register_taint: dict = field(default_factory=dict)
+    agree: bool = True
+
+    @property
+    def clean(self) -> bool:
+        return not self.flows
+
+    def influencers(self, module: str) -> set:
+        """Modules whose state influences any sink owned by ``module``."""
+        return {f.source for f in self.flows if f.sink_module == module}
+
+    def flow_matrix(self) -> dict:
+        """``{(source, sink): count}`` over the verified flows."""
+        matrix: dict = {}
+        for f in self.flows:
+            key = (f.source, f.sink_module)
+            matrix[key] = matrix.get(key, 0) + 1
+        return matrix
+
+
+def verify_taint(compiled: CompiledProgram) -> VerifyResult:
+    """Verify cross-tenant isolation on a compiled artifact.
+
+    Runs the depgraph-level taint pass (:mod:`repro.analysis.taint`)
+    over the instances elaborated at the *chosen* symbolic values, and
+    the independent plan-level pass (:func:`repro.pisa.plan.plan_taint`)
+    over the placed units' effect sets, then cross-checks the two label
+    maps. Programs without a module namespace (single-program compiles)
+    verify trivially.
+    """
+    ns = compiled.namespace
+    if ns is None or not ns.modules:
+        return VerifyResult()
+
+    counts = {sym: compiled.symbol_values.get(sym, 1)
+              for sym in compiled.ir.loop_symbolics}
+    dep = propagate_taint(instantiate(compiled.ir, counts), ns)
+    dep_fields, dep_regs = dep.normalized()
+
+    views = [
+        _PlanUnitView(
+            module=module_of_instance(u.instance, ns),
+            reads=frozenset(u.instance.reads),
+            writes=frozenset(u.instance.writes),
+            registers=frozenset(f for f, _ in u.instance.registers),
+        )
+        for u in compiled.units
+    ]
+    plan_fields, plan_regs = plan_taint(views, ns.registers)
+
+    for kind, ours, theirs in (("field", dep_fields, plan_fields),
+                               ("register", dep_regs, plan_regs)):
+        if ours == theirs:
+            continue
+        diverging = sorted(
+            name for name in set(ours) | set(theirs)
+            if ours.get(name) != theirs.get(name)
+        )
+        name = diverging[0]
+        raise TaintMismatchError(
+            f"taint verification mismatch on {kind} '{name}': depgraph "
+            f"pass says {sorted(ours.get(name, ()))}, plan pass says "
+            f"{sorted(theirs.get(name, ()))} — lowering changed the "
+            f"program's dataflow ({len(diverging)} diverging {kind}s)"
+        )
+
+    flows = cross_module_flows(dep, ns)
+    return VerifyResult(
+        modules=list(ns.modules),
+        flows=flows,
+        field_taint=dep_fields,
+        register_taint=dep_regs,
+        agree=True,
+    )

@@ -13,6 +13,7 @@ preserved for every downstream layer. Compile a linked program with
 from .errors import IsolationError, LinkError
 from .linker import (
     APP_MODULE,
+    FlowDiagnostic,
     LinkedProgram,
     link_files,
     link_p4all_modules,
@@ -28,6 +29,7 @@ from .moduleir import (
 
 __all__ = [
     "APP_MODULE",
+    "FlowDiagnostic",
     "IsolationError",
     "LinkError",
     "LinkedProgram",

@@ -10,9 +10,11 @@ is front-ended once (:mod:`repro.link.moduleir`), then the linker:
   module's names (``{module}_{name}``);
 * unifies identical metadata field re-declarations and rejects
   conflicting ones;
-* flags cross-module register access as an isolation violation
-  (:class:`~repro.link.errors.IsolationError`), unless downgraded to
-  diagnostics with ``allow_cross_module_state=True``;
+* verifies tenant isolation *semantically*: a taint pass over the merged
+  program (:mod:`repro.analysis.taint`) rejects any cross-module
+  information flow — not just shared register names — with a witness
+  path (:class:`~repro.analysis.taint.FlowDiagnostic`), downgradable
+  per-edge via ``allow_cross_module_state``;
 * records per-module utility terms (an explicit weighted sum) and
   optional per-module utility floors for the layout ILP;
 * attaches a :class:`~repro.lang.symbols.ModuleNamespace` so every
@@ -28,8 +30,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Sequence
 
+from ..analysis import build_ir
+from ..analysis.dependencies import AnalysisError
+from ..analysis.ir import instantiate
+from ..analysis.taint import FlowDiagnostic, cross_module_flows, propagate_taint
 from ..core.cache import source_fingerprint
-from ..lang import ast
+from ..lang import ast, check_program
+from ..lang.errors import P4AllError
 from ..obs import trace
 from ..lang.pretty import pretty_program
 from ..lang.symbols import ModuleNamespace, static_names
@@ -41,8 +48,8 @@ from .moduleir import (
     rename_module_ir,
 )
 
-__all__ = ["LinkedProgram", "link_p4all_modules", "link_files",
-           "splice_modules", "APP_MODULE"]
+__all__ = ["LinkedProgram", "FlowDiagnostic", "link_p4all_modules",
+           "link_files", "splice_modules", "APP_MODULE"]
 
 #: Owner label for app-level glue (extra declarations, routing tables).
 APP_MODULE = "(app)"
@@ -68,8 +75,12 @@ class LinkedProgram:
     #: module -> minimum weighted utility, enforced as ILP constraints.
     floors: dict = field(default_factory=dict)
     #: isolation diagnostics collected when cross-module state access is
-    #: allowed instead of rejected.
+    #: allowed instead of rejected (rendered strings, one per finding).
     diagnostics: list = field(default_factory=list)
+    #: structured :class:`~repro.analysis.taint.FlowDiagnostic` records
+    #: for every downgraded cross-module flow (source module → sink
+    #: module with a witness path through the dataflow graph).
+    flows: list = field(default_factory=list)
     entry: str = "Ingress"
     _relink: "Callable | None" = field(default=None, repr=False, compare=False)
 
@@ -281,14 +292,43 @@ def _merge_consts(groups) -> tuple:
     return decls, owner
 
 
-def _check_isolation(irs: Sequence[ModuleIR], register_owner: dict,
-                     allow: bool) -> list:
-    """Flag cross-module register access.
+_ISOLATION_HINT = ("; modules must share state through metadata fields, "
+                   "or link with allow_cross_module_state=True")
+
+
+def _parse_allow(allow) -> tuple[bool, frozenset]:
+    """Normalize ``allow_cross_module_state``.
+
+    ``True`` downgrades every flow to a diagnostic; ``False``/``None``
+    rejects all of them; a collection of ``(source, sink)`` module pairs
+    downgrades exactly those edges (either direction) and rejects the
+    rest.
+    """
+    if allow is True:
+        return True, frozenset()
+    if not allow:
+        return False, frozenset()
+    return False, frozenset(tuple(edge) for edge in allow)
+
+
+def _edge_allowed(src: str, dst: str, allow_all: bool,
+                  allowed: frozenset) -> bool:
+    return allow_all or (src, dst) in allowed or (dst, src) in allowed
+
+
+def _check_isolation_names(irs: Sequence[ModuleIR], register_owner: dict,
+                           allow_all: bool, allowed: frozenset) -> list:
+    """The legacy *syntactic* check: flag cross-module register names.
 
     Walks each module's declarations and apply statements; any ``Name``
     that resolves to a register owned by a *different* module is an
     isolation violation. App glue is exempt (it is the composition
     point, e.g. NetCache's routing acts on both modules' results).
+
+    Kept as the fallback when the merged program does not survive the
+    semantic front end (the compile will surface that error itself) and
+    as a sweep for *declared-but-never-applied* foreign access, which
+    produces no dataflow for the taint pass to see.
     """
     diagnostics: list = []
     seen: set = set()
@@ -308,18 +348,110 @@ def _check_isolation(irs: Sequence[ModuleIR], register_owner: dict,
                     f"isolation violation: module '{ir.name}' accesses "
                     f"register '{node.ident}' owned by module '{owner}'"
                 )
-                if not allow:
-                    raise IsolationError(
-                        message + "; modules must share state through "
-                        "metadata fields, or link with "
-                        "allow_cross_module_state=True"
-                    )
+                if not _edge_allowed(ir.name, owner, allow_all, allowed):
+                    raise IsolationError(message + _ISOLATION_HINT)
                 diagnostics.append(message)
     return diagnostics
 
 
+# Link-time flows memo (legacy compose() sweeps re-link the same
+# fragments over and over). Process-wide and keyed by the linked
+# fingerprint, so it works with or without a CompileCache; the compile
+# driver's verify phase has its own CompileCache tier. Bounded: cleared
+# wholesale at the cap, like the module-IR memo.
+_FLOW_MEMO: dict = {}
+_FLOW_MEMO_CAP = 256
+
+
+def _semantic_flows(program: ast.Program, ns: ModuleNamespace,
+                    entry: str, fingerprint: str) -> "list | None":
+    """Taint the merged program; ``None`` when the front end rejects it.
+
+    Runs the semantic front end over the merged AST, expands every
+    elastic loop at two iterations — enough to exercise the
+    iteration-indexed fields without caring about target bounds — and
+    returns the sorted cross-module flows. A program the checker rejects
+    yields ``None``: the isolation question is moot, the compile will
+    fail with the real diagnostic.
+    """
+    memo_key = (fingerprint, entry)
+    if memo_key in _FLOW_MEMO:
+        return _FLOW_MEMO[memo_key]
+    try:
+        info = check_program(program)
+        info.namespace = ns
+        ir = build_ir(info, entry)
+        counts = {sym: 2 for sym in ir.loop_symbolics}
+        result = propagate_taint(instantiate(ir, counts), ns,
+                                 app_module=APP_MODULE)
+        flows = cross_module_flows(result, ns, app_module=APP_MODULE)
+    except (P4AllError, AnalysisError):
+        flows = None
+    if len(_FLOW_MEMO) >= _FLOW_MEMO_CAP:
+        _FLOW_MEMO.clear()
+    _FLOW_MEMO[memo_key] = flows
+    return flows
+
+
+def _flow_message(flow: FlowDiagnostic) -> str:
+    kind = "register" if flow.sink_kind == "register" else "field"
+    return (
+        f"isolation violation: state of module '{flow.source}' flows into "
+        f"{kind} '{flow.sink}' owned by module '{flow.sink_module}' "
+        f"(witness: {flow.witness_text()})"
+    )
+
+
+def _verify_isolation(irs: Sequence[ModuleIR], ns: ModuleNamespace,
+                      program: ast.Program, entry: str, fingerprint: str,
+                      allow) -> tuple[list, list]:
+    """The semantic isolation check; returns ``(diagnostics, flows)``.
+
+    Raises :class:`IsolationError` on the first cross-module flow not
+    covered by ``allow``; downgraded flows come back as rendered
+    diagnostics plus their structured :class:`FlowDiagnostic` records.
+    The legacy name-based sweep still runs afterwards to catch foreign
+    register references that never reach the dataflow (declared but not
+    applied) — its findings are deduplicated against the semantic ones.
+    """
+    allow_all, allowed = _parse_allow(allow)
+    diagnostics: list = []
+    flows = _semantic_flows(program, ns, entry, fingerprint)
+    kept: list = []
+    if flows:
+        for flow in flows:
+            message = _flow_message(flow)
+            if not _edge_allowed(flow.source, flow.sink_module,
+                                 allow_all, allowed):
+                raise IsolationError(message + _ISOLATION_HINT)
+            diagnostics.append(message)
+            kept.append(flow)
+    covered = {flow.sink for flow in kept} | {
+        node for flow in kept for node in flow.witness
+    }
+    for message in _check_isolation_names(irs, ns.registers,
+                                          allow_all, allowed):
+        register = message.rsplit("register '", 1)[1].split("'", 1)[0]
+        if register not in covered:
+            diagnostics.append(message)
+    return diagnostics, kept
+
+
+#: ModuleIR label kind -> the ModuleNamespace store it projects into.
+#: Fields and consts are merged separately (sharing surface), so their
+#: labels only participate through ``field_owner``/``const_owner``.
+_LABEL_STORES = {
+    "symbolic": "symbolics",
+    "register": "registers",
+    "action": "actions",
+    "table": "tables",
+    "control": "controls",
+}
+
+
 def _build_namespace(irs, field_owner, const_owner,
                      glue: ModuleIR | None) -> ModuleNamespace:
+    """Project per-module ownership labels into one ModuleNamespace."""
     ns = ModuleNamespace(modules=[ir.name for ir in irs])
     ns.fields = dict(field_owner)
     ns.consts = dict(const_owner)
@@ -328,16 +460,10 @@ def _build_namespace(irs, field_owner, const_owner,
         members.append(glue)
     for ir in members:
         owner = APP_MODULE if ir is glue else ir.name
-        for sym in ir.symbolics:
-            ns.symbolics[sym] = owner
-        for reg in ir.registers:
-            ns.registers[reg] = owner
-        for act in ir.actions:
-            ns.actions[act] = owner
-        for tbl in ir.tables:
-            ns.tables[tbl] = owner
-        for ctl in ir.controls:
-            ns.controls[ctl] = owner
+        for sym, (kind, _module) in ir.symbol_labels().items():
+            store = _LABEL_STORES.get(kind)
+            if store is not None:
+                getattr(ns, store)[sym] = owner
     return ns
 
 
@@ -504,6 +630,8 @@ def _link_p4all_modules_body(
         decls=glue_decls, apply_stmts=glue.apply_stmts, utility=glue.utility,
         registers=glue.registers, actions=glue.actions, tables=glue.tables,
         controls=[c for c in glue.controls if c != _POST_WRAPPER],
+        labels={k: v for k, v in glue.labels.items()
+                if not (v == "control" and k == _POST_WRAPPER)},
     )
 
     irs, renamed_any = _resolve_collisions(irs, fixed=[glue_view])
@@ -517,8 +645,6 @@ def _link_p4all_modules_body(
         + [(ir.name, ir.const_decls) for ir in irs]
     )
     ns = _build_namespace(irs, field_owner, const_owner, glue_view)
-    diagnostics = _check_isolation(irs, ns.registers,
-                                   allow_cross_module_state)
 
     if utility is not None:
         utility_expr = glue_view.utility
@@ -558,6 +684,14 @@ def _link_p4all_modules_body(
         source = pretty_program(program)
         program.source = source
 
+    fingerprint = _linked_fingerprint(source, floors)
+    with trace.span("link.verify", modules=len(irs)) as vspan:
+        diagnostics, flows = _verify_isolation(
+            irs, ns, program, entry, fingerprint,
+            allow_cross_module_state,
+        )
+        vspan.set_attrs(flows=len(flows))
+
     def relink(new_weights, new_floors, new_cache):
         return link_p4all_modules(
             modules, extra_metadata=extra_metadata, utility=None,
@@ -572,10 +706,10 @@ def _link_p4all_modules_body(
 
     return LinkedProgram(
         name=link_name, program=program, source=source,
-        fingerprint=_linked_fingerprint(source, floors),
+        fingerprint=fingerprint,
         modules=irs, namespace=ns, utility=utility_expr,
         utility_terms=terms, floors=floors, diagnostics=diagnostics,
-        entry=entry, _relink=relink,
+        flows=flows, entry=entry, _relink=relink,
     )
 
 
@@ -642,8 +776,6 @@ def _link_files_body(
         [(ir.name, ir.const_decls) for ir in irs]
     )
     ns = _build_namespace(irs, field_owner, const_owner, None)
-    diagnostics = _check_isolation(irs, ns.registers,
-                                   allow_cross_module_state)
 
     terms = [
         (ir.name, weights.get(ir.name, 1.0), ir.utility)
@@ -660,6 +792,14 @@ def _link_files_body(
     source = pretty_program(program)
     program.source = source
 
+    fingerprint = _linked_fingerprint(source, floors)
+    with trace.span("link.verify", modules=len(irs)) as vspan:
+        diagnostics, flows = _verify_isolation(
+            irs, ns, program, entry, fingerprint,
+            allow_cross_module_state,
+        )
+        vspan.set_attrs(flows=len(flows))
+
     def relink(new_weights, new_floors, new_cache):
         return link_files(
             named,
@@ -672,10 +812,10 @@ def _link_files_body(
 
     return LinkedProgram(
         name=link_name, program=program, source=source,
-        fingerprint=_linked_fingerprint(source, floors),
+        fingerprint=fingerprint,
         modules=irs, namespace=ns, utility=utility_expr,
         utility_terms=terms, floors=floors, diagnostics=diagnostics,
-        entry=entry, _relink=relink,
+        flows=flows, entry=entry, _relink=relink,
     )
 
 

@@ -59,6 +59,11 @@ class ModuleIR:
     actions: list = field(default_factory=list)
     tables: list = field(default_factory=list)
     controls: list = field(default_factory=list)
+    #: symbol name -> kind ("symbolic"/"register"/"action"/"table"/
+    #: "control"/"field"/"const") — the ownership labels the linker
+    #: projects into the :class:`~repro.lang.symbols.ModuleNamespace`
+    #: and the taint verifier consumes.
+    labels: dict = field(default_factory=dict)
 
     @property
     def symbolics(self) -> list:
@@ -67,6 +72,11 @@ class ModuleIR:
     @property
     def consts(self) -> list:
         return [d.name for d in self.const_decls]
+
+    def symbol_labels(self) -> dict:
+        """Every symbol this module declares, labeled with its kind and
+        owner: ``{name: (kind, module_name)}``."""
+        return {name: (kind, self.name) for name, kind in self.labels.items()}
 
     def owned_names(self) -> list:
         """Names this module introduces into the link-global namespace.
@@ -138,6 +148,17 @@ def _extract(name: str, source: str, fingerprint: str, entry: str,
     ir.actions = [a.name for a in program.actions()]
     ir.tables = [t.name for t in program.tables()]
     ir.controls = [c.name for c in program.controls() if c.name != entry]
+    for kind, group in (
+        ("symbolic", ir.symbolics),
+        ("register", ir.registers),
+        ("action", ir.actions),
+        ("table", ir.tables),
+        ("control", ir.controls),
+        ("field", [fd.name for fd in ir.metadata_fields]),
+        ("const", ir.consts),
+    ):
+        for sym in group:
+            ir.labels[sym] = kind
     return ir
 
 

@@ -22,7 +22,7 @@ from .pipeline import (
     ValidationError,
     default_engine,
 )
-from .plan import PipelinePlan, StagePlan, UnitPlan
+from .plan import PipelinePlan, StagePlan, UnitPlan, plan_taint
 from .registers import RegisterArray, RegisterError, RegisterFile
 from .sharded import classify_registers, run_sharded, shard_assignments
 from .targetspec import load_target, save_target, target_from_dict, target_to_dict
@@ -65,6 +65,7 @@ __all__ = [
     "PipelinePlan",
     "StagePlan",
     "UnitPlan",
+    "plan_taint",
     "load_target",
     "save_target",
     "target_from_dict",

@@ -915,6 +915,11 @@ def build_plan(pipeline) -> PipelinePlan:
         hash_fns=pipeline._hash_fns,
         hash_factory=pipeline._hash_factory,
     )
+    # Module attribution (for the plan-level taint pass) — local import:
+    # analysis imports pisa.resources, so a top-level import would cycle.
+    from ..analysis.ir import module_of_instance
+
+    namespace = getattr(pipeline.info, "namespace", None)
     plan = PipelinePlan(masks=pipeline.phv_layout.width_masks())
     no_scalars: dict[str, int] = {}
     fallback_stages: set[int] = set()
@@ -945,6 +950,9 @@ def build_plan(pipeline) -> PipelinePlan:
                 steps=steps,
                 reads=frozenset(inst.reads),
                 writes=frozenset(inst.writes),
+                registers=frozenset(f for f, _ in inst.registers),
+                module=(module_of_instance(inst, namespace)
+                        if namespace is not None else None),
             ))
         plan.stages.append(StagePlan(
             stage=stage,

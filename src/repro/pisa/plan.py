@@ -29,7 +29,7 @@ from typing import Callable, Optional
 from .interp import SimulationError
 from .phv import PhvError
 
-__all__ = ["UnitPlan", "StagePlan", "PipelinePlan"]
+__all__ = ["UnitPlan", "StagePlan", "PipelinePlan", "plan_taint"]
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,8 @@ class UnitPlan:
     steps: tuple                     # step closures, in statement order
     reads: frozenset = frozenset()   # static read-set (field keys)
     writes: frozenset = frozenset()  # static write-set (field keys)
+    registers: frozenset = frozenset()  # touched register families
+    module: Optional[str] = None     # owning module (linked programs)
 
 
 @dataclass(frozen=True)
@@ -128,6 +130,11 @@ class PipelinePlan:
                 raise PhvError(f"PHV field {key!r} was never allocated")
             phv[key] = int(value) & mask
 
+    def taint_map(self, register_owner: dict, app_module: str = "(app)"):
+        """Plan-level taint labels (see :func:`plan_taint`)."""
+        units = [u for splan in self.stages for u in splan.units]
+        return plan_taint(units, register_owner, app_module)
+
     def describe(self) -> str:
         """Human-readable plan summary (stages, units, touched fields)."""
         fast = " (codegen fast path active)" if self.fast_run is not None else ""
@@ -142,3 +149,60 @@ class PipelinePlan:
             if splan.writes:
                 lines.append(f"    writes: {', '.join(sorted(splan.writes))}")
         return "\n".join(lines)
+
+
+def plan_taint(
+    units,
+    register_owner: dict,
+    app_module: str = "(app)",
+) -> tuple[dict, dict]:
+    """Module-taint fixpoint over lowered plan units.
+
+    An independent re-implementation of the depgraph-level pass in
+    :mod:`repro.analysis.taint`, written against the execution-plan IR
+    (``module``/``reads``/``writes``/``registers`` on each unit) instead
+    of the elaborated action instances. The compiler driver cross-checks
+    the two: because both are monotone may-analyses over a finite
+    lattice, chaotic iteration converges to the same least fixpoint, so
+    any disagreement means lowering changed the dataflow — a bug worth
+    failing the compile over.
+
+    ``units`` is any iterable of objects with ``module`` (owning module
+    name or ``None``), ``reads``/``writes`` (PHV field keys), and
+    ``registers`` (register family names). ``register_owner`` maps
+    family name to owning module. Returns ``(field_taint,
+    register_taint)`` with only non-empty label sets.
+    """
+    units = list(units)
+    field_taint: dict[str, frozenset] = {}
+    register_taint: dict[str, frozenset] = {}
+    for family, owner in register_owner.items():
+        if owner != app_module:
+            register_taint[family] = frozenset((owner,))
+
+    changed = True
+    while changed:
+        changed = False
+        for unit in units:
+            module = unit.module
+            if module is None or module == app_module:
+                continue  # app glue declassifies
+            carried = {module}
+            for key in unit.reads:
+                carried |= field_taint.get(key, frozenset())
+            for family in unit.registers:
+                carried |= register_taint.get(family, frozenset())
+            for key in unit.writes:
+                have = field_taint.get(key, frozenset())
+                if not carried <= have:
+                    field_taint[key] = have | carried
+                    changed = True
+            for family in unit.registers:
+                have = register_taint.get(family, frozenset())
+                if not carried <= have:
+                    register_taint[family] = have | carried
+                    changed = True
+    return (
+        {k: v for k, v in field_taint.items() if v},
+        {k: v for k, v in register_taint.items() if v},
+    )

@@ -45,3 +45,87 @@ class TestGraphToDot:
         g.add_node([ActionInstance(uid=0, name='odd"name', body=[])])
         dot = graph_to_dot(g)
         assert '\\"' in dot
+
+
+class TestTaintRendering:
+    def _flow(self):
+        from repro.analysis.taint import FlowDiagnostic
+
+        return FlowDiagnostic(
+            source="ctr", sink_module="spy", sink_kind="field",
+            sink="meta.spy_val",
+            witness=("ctr_reg", "meta.spy_val"),
+            via=("spy_read[0]",),
+        )
+
+    def test_module_coloring(self):
+        graph = cms_graph(2)
+        modules = {i.label: "cms" for n in graph.nodes
+                   for i in n.instances}
+        dot = graph_to_dot(graph, modules=modules)
+        assert "style=filled" in dot and "fillcolor=" in dot
+        # Every node line carries the module's fill color.
+        node_lines = [l for l in dot.splitlines()
+                      if l.strip().startswith("n") and "label=" in l
+                      and "->" not in l]
+        assert all("fillcolor=" in l for l in node_lines)
+
+    def test_distinct_modules_get_distinct_colors(self):
+        graph = cms_graph(2)
+        labels = sorted(i.label for n in graph.nodes
+                        for i in n.instances)
+        half = len(labels) // 2
+        modules = {l: ("a" if i < half else "b")
+                   for i, l in enumerate(labels)}
+        dot = graph_to_dot(graph, modules=modules)
+        colors = {l.split("fillcolor=")[1] for l in dot.splitlines()
+                  if "fillcolor=" in l}
+        assert len(colors) == 2
+
+    def test_default_rendering_unchanged(self):
+        graph = cms_graph(2)
+        assert graph_to_dot(graph) == graph_to_dot(
+            graph, modules=None, flow_edges=None
+        )
+
+    def test_flow_edges_highlighted(self):
+        graph = cms_graph(2)
+        edges = list(graph.precedence_edges())
+        src, dst = edges[0]
+        pair = (src.instances[0].label, dst.instances[0].label)
+        dot = graph_to_dot(graph, flow_edges={pair})
+        hot = [l for l in dot.splitlines()
+               if "color=red" in l and "penwidth" in l]
+        assert len(hot) == 1
+
+    def test_flow_to_dot_witness_path(self):
+        from repro.analysis import flow_to_dot
+
+        dot = flow_to_dot(self._flow())
+        assert dot.startswith("digraph")
+        assert 'label="ctr_reg", shape=cylinder' in dot
+        assert 'label="meta.spy_val", shape=ellipse' in dot
+        assert 'label="spy_read[0]", color=red' in dot
+        # The sink is outlined.
+        assert "color=red, penwidth=2.0" in dot
+
+    def test_flow_to_dot_handles_empty_witness(self):
+        from repro.analysis import flow_to_dot
+        from repro.analysis.taint import FlowDiagnostic
+
+        flow = FlowDiagnostic(source="a", sink_module="b",
+                              sink_kind="register", sink="b_reg")
+        dot = flow_to_dot(flow)
+        assert 'label="b_reg", shape=cylinder' in dot
+
+    def test_witness_edges_pairs_consecutive_carriers(self):
+        from repro.analysis import witness_edges
+        from repro.analysis.taint import FlowDiagnostic
+
+        flow = FlowDiagnostic(
+            source="a", sink_module="b", sink_kind="field", sink="f",
+            witness=("a_reg", "meta.x", "meta.y"),
+            via=("a_act[0]", "b_act"),
+        )
+        assert witness_edges([flow]) == {("a_act[0]", "b_act")}
+        assert witness_edges([self._flow()]) == set()

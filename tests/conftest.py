@@ -13,6 +13,22 @@ from repro.core import CompiledProgram, compile_source
 from repro.pisa import Pipeline, small_target, toy_three_stage
 from repro.structures import CMS_SOURCE
 
+try:  # hypothesis is a test-only dependency (see pyproject dev extras)
+    from hypothesis import HealthCheck, settings as _hyp_settings
+
+    # Registered at import time so `--hypothesis-profile=ci` resolves.
+    # The CI verify-bench job runs the property suite under this profile:
+    # more examples than the local default, no deadline flakiness.
+    _hyp_settings.register_profile(
+        "ci",
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+        derandomize=True,
+    )
+except ImportError:  # pragma: no cover
+    pass
+
 
 @pytest.fixture(scope="session")
 def toy3():

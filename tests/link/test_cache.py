@@ -71,6 +71,29 @@ class TestModuleTier:
         assert shrunk.stats.frontend_cached
         assert not shrunk.stats.layout_cached
 
+    def test_verify_tier_answers_warm_recompiles(self, runtime_target):
+        """Taint verification runs once; an unchanged program's warm
+        recompile serves the VerifyResult from the cache's verify tier."""
+        from repro.core import CompileOptions
+
+        cache = CompileCache()
+        linked = netcache_linked(with_routing=False, cache=cache)
+        options = CompileOptions(cache=cache)
+
+        first = compile_linked(linked, runtime_target, options=options)
+        assert first.verify is not None and first.verify.clean
+        assert not first.stats.verify_cached
+        assert cache.stats.verify_misses == 1
+
+        warm = compile_linked(linked, runtime_target, options=options)
+        assert warm.stats.verify_cached
+        assert cache.stats.verify_hits >= 1
+        assert warm.verify.flows == first.verify.flows
+        # The verify tier shows up in the cache's bookkeeping too.
+        snap = cache.snapshot()
+        assert snap["verify_entries"] >= 1
+        assert "verify" in repr(cache)
+
 
 class TestReweight:
     def test_reweight_never_reparses_modules(self):

@@ -216,3 +216,34 @@ class TestPostMigration:
             assert sorted(ac.cached_entries()) == sorted(ao.cached_entries())
             assert (_register_state(ac.pipeline)
                     == _register_state(ao.pipeline))
+
+
+class TestGeneratedLinkedPrograms:
+    """Random verified-isolated module pairs (the property-test
+    generator) must behave identically on every engine when co-linked —
+    engine equivalence is not a property of the hand-written examples
+    only."""
+
+    @_SETTINGS
+    @given(
+        specs=st.sampled_from([
+            [("ma", 1, 256), ("mb", 2, 512)],
+            [("ma", 2, 512), ("mb", 1, 1024)],
+            [("ma", 1, 512), ("mb", 1, 512), ("mc", 2, 256)],
+        ]),
+        flows=flow_ids,
+    )
+    def test_generated_linked_equivalent(self, small6, specs, flows):
+        from repro.core import compile_linked
+        from repro.link import link_files
+
+        from tests.property.generators import clean_module_source
+
+        linked = link_files(
+            [(name, clean_module_source(name, rows, cells))
+             for name, rows, cells in specs]
+        )
+        compiled = compile_linked(linked, small6)
+        assert compiled.verify is not None and compiled.verify.clean
+        packets = [Packet(fields={"flow_id": f}) for f in flows]
+        assert_equivalent(compiled, packets)

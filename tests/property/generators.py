@@ -1,0 +1,156 @@
+"""Random P4All program generators for property-based testing.
+
+Every generated module pins its symbolic to one feasible value
+(``assume X >= R && X <= R``) so a solo compile and a co-linked compile
+are forced to choose the *same* elasticity — which is what lets the
+isolation property compare per-tenant outputs across the two compiles
+without chasing layout differences.
+
+Two shapes:
+
+* :func:`clean_module_source` — a self-contained per-flow counter: own
+  register family, own output fields, keyed only on the shared
+  ``meta.flow_id``. Any set of these links (and verifies) clean.
+* :func:`writer_module_source` / :func:`leaky_reader_source` — the
+  cross-tenant leak: the writer deposits register-derived state into a
+  metadata field, and the reader hashes on that field. No register is
+  named across module boundaries, so the legacy name-based isolation
+  check accepts the pair; the semantic taint pass must reject it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+#: Identifier pool for generated module names (kept short and distinct
+#: so witness paths in failure output stay readable).
+MODULE_NAMES = ("ma", "mb", "mc", "md")
+
+CLEAN_TEMPLATE = """\
+symbolic int {m}_rows;
+assume {m}_rows >= {rows} && {m}_rows <= {rows};
+
+struct metadata {{
+    bit<32> flow_id;
+    bit<32>[{m}_rows] {m}_val;
+}}
+
+register<bit<32>>[{cells}][{m}_rows] {m}_reg;
+
+action {m}_bump()[int i] {{
+    {m}_reg[i].add_read(meta.{m}_val[i], hash(i, meta.flow_id), 1);
+}}
+
+control Ingress(inout metadata meta) {{
+    apply {{
+        for (i < {m}_rows) {{ {m}_bump()[i]; }}
+    }}
+}}
+
+optimize({m}_rows * {cells});
+"""
+
+WRITER_TEMPLATE = """\
+symbolic int {m}_rows;
+assume {m}_rows >= 1 && {m}_rows <= 1;
+
+struct metadata {{
+    bit<32> flow_id;
+    bit<32> {m}_shared;
+}}
+
+register<bit<32>>[{cells}][{m}_rows] {m}_reg;
+
+action {m}_bump()[int i] {{
+    {m}_reg[i].add_read(meta.{m}_shared, hash(i, meta.flow_id), 1);
+}}
+
+control Ingress(inout metadata meta) {{
+    apply {{
+        for (i < {m}_rows) {{ {m}_bump()[i]; }}
+    }}
+}}
+
+optimize({m}_rows * {cells});
+"""
+
+LEAKY_READER_TEMPLATE = """\
+symbolic int {m}_slots;
+assume {m}_slots >= {slots} && {m}_slots <= {slots};
+
+struct metadata {{
+    bit<32> flow_id;
+    bit<32> {src}_shared;
+    bit<1> {m}_seen;
+}}
+
+register<bit<1>>[{m}_slots][1] {m}_reg;
+
+action {m}_set() {{
+    {m}_reg[0].swap(meta.{m}_seen, hash(7, meta.{src}_shared), 1);
+}}
+
+control Ingress(inout metadata meta) {{
+    apply {{
+        {m}_set();
+    }}
+}}
+
+optimize({m}_slots);
+"""
+
+
+def clean_module_source(name: str, rows: int = 1, cells: int = 512) -> str:
+    """A self-contained counter module, symbolic pinned to ``rows``."""
+    return CLEAN_TEMPLATE.format(m=name, rows=rows, cells=cells)
+
+
+def writer_module_source(name: str, cells: int = 1024) -> str:
+    """A module whose register state lands in ``meta.{name}_shared``."""
+    return WRITER_TEMPLATE.format(m=name, cells=cells)
+
+
+def leaky_reader_source(name: str, source_module: str,
+                        slots: int = 256) -> str:
+    """A module hashing on ``source_module``'s deposited field.
+
+    Links without naming any foreign register — the flow is purely
+    through metadata, visible only to the semantic taint pass.
+    """
+    return LEAKY_READER_TEMPLATE.format(m=name, src=source_module,
+                                        slots=slots)
+
+
+def module_fields(name: str, rows: int) -> list:
+    """The per-packet PHV output keys a clean module owns."""
+    return [f"meta.{name}_val[{i}]" for i in range(rows)]
+
+
+@st.composite
+def clean_module_specs(draw, min_modules: int = 2, max_modules: int = 3):
+    """Draw ``[(name, rows, cells), ...]`` with distinct names."""
+    count = draw(st.integers(min_value=min_modules, max_value=max_modules))
+    names = list(MODULE_NAMES[:count])
+    specs = []
+    for name in names:
+        rows = draw(st.integers(min_value=1, max_value=2))
+        cells = draw(st.sampled_from((256, 512, 1024)))
+        specs.append((name, rows, cells))
+    return specs
+
+
+@st.composite
+def leaky_pair_specs(draw):
+    """Draw ``(writer_name, reader_name, cells, slots)``."""
+    writer, reader = draw(st.sampled_from(
+        [(a, b) for a in MODULE_NAMES for b in MODULE_NAMES if a != b]
+    ))
+    cells = draw(st.sampled_from((512, 1024)))
+    slots = draw(st.sampled_from((256, 512)))
+    return writer, reader, cells, slots
+
+
+flow_streams = st.lists(
+    st.integers(min_value=0, max_value=(1 << 32) - 1),
+    min_size=1, max_size=40,
+)

@@ -1,0 +1,160 @@
+"""Property-based verification of the whole compile pipeline.
+
+Random P4All programs (from :mod:`tests.property.generators`) check the
+three end-to-end properties the taint verifier promises:
+
+1. **Isolation is real**: a program pair the verifier calls isolated
+   produces per-tenant outputs identical whether the tenants are
+   co-linked into one layout or compiled alone.
+2. **The two taint passes agree**: the depgraph-level pass and the
+   independent plan-level pass compute the same labels on every
+   program, clean or leaky (disagreement would be a lowering bug and
+   raises :class:`~repro.core.TaintMismatchError`).
+3. **Leaks are always caught**: the writer→reader metadata leak — which
+   names no foreign register, so the legacy check accepts it — is
+   rejected by the semantic pass with a witness naming both modules.
+
+Plus the layout property: every ILP solution satisfies every Fig-10
+constraint family, re-checked from the artifact by
+:func:`~repro.core.validate_layout`.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, assume, given, settings, strategies as st
+
+from repro.core import (
+    CompileCache,
+    CompileOptions,
+    LayoutInfeasibleError,
+    compile_linked,
+    compile_source,
+    validate_layout,
+    verify_taint,
+)
+from repro.link import IsolationError, link_files
+from repro.pisa import Packet, Pipeline, small_target
+
+from .generators import (
+    clean_module_source,
+    clean_module_specs,
+    flow_streams,
+    leaky_pair_specs,
+    leaky_reader_source,
+    module_fields,
+    writer_module_source,
+)
+
+_SETTINGS = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+TARGET = small_target(stages=6, memory_kb=32)
+
+#: One cache for the whole module: the generators draw from small
+#: parameter pools, so repeated examples recompile for free and the
+#: hypothesis run stays fast.
+_CACHE = CompileCache()
+
+
+def _options() -> CompileOptions:
+    return CompileOptions(cache=_CACHE)
+
+
+def _compile_pair(specs):
+    sources = [(name, clean_module_source(name, rows, cells))
+               for name, rows, cells in specs]
+    linked = link_files(sources)
+    return sources, compile_linked(linked, TARGET, options=_options())
+
+
+class TestVerifiedIsolation:
+    """Property 1: verified-isolated ⇒ co-linking changes no output."""
+
+    @given(specs=clean_module_specs(), flows=flow_streams)
+    @_SETTINGS
+    def test_colinked_outputs_match_solo(self, specs, flows):
+        sources, co = _compile_pair(specs)
+        assert co.verify is not None and co.verify.clean
+        packets = lambda: [Packet(fields={"flow_id": f}) for f in flows]
+        co_results = Pipeline(co).process_many(packets())
+        for (name, source), (_, rows, _cells) in zip(sources, specs):
+            solo = compile_source(source, TARGET, source_name=name,
+                                  options=_options())
+            solo_results = Pipeline(solo).process_many(packets())
+            fields = module_fields(name, rows)
+            for n, (s, c) in enumerate(zip(solo_results, co_results)):
+                for key in fields:
+                    assert s.phv[key] == c.phv[key], (
+                        f"packet {n}: tenant {name} diverged on {key} "
+                        f"when co-linked"
+                    )
+
+
+class TestTaintPassAgreement:
+    """Property 2: depgraph taint ≡ plan-IR taint on every program."""
+
+    @given(specs=clean_module_specs())
+    @_SETTINGS
+    def test_clean_programs_agree(self, specs):
+        _, co = _compile_pair(specs)
+        result = verify_taint(co)  # raises TaintMismatchError on drift
+        assert result.agree and result.clean
+
+    @given(pair=leaky_pair_specs())
+    @_SETTINGS
+    def test_leaky_programs_agree(self, pair):
+        writer, reader, cells, slots = pair
+        linked = link_files(
+            [(writer, writer_module_source(writer, cells)),
+             (reader, leaky_reader_source(reader, writer, slots))],
+            allow_cross_module_state=True,
+        )
+        co = compile_linked(linked, TARGET, options=_options())
+        result = verify_taint(co)
+        assert result.agree
+        assert any(f.source == writer and f.sink_module == reader
+                   for f in result.flows)
+
+
+class TestLeakDetection:
+    """Property 3: the metadata leak is always rejected with a witness."""
+
+    @given(pair=leaky_pair_specs())
+    @_SETTINGS
+    def test_leak_always_detected(self, pair):
+        writer, reader, cells, slots = pair
+        with pytest.raises(IsolationError) as exc:
+            link_files(
+                [(writer, writer_module_source(writer, cells)),
+                 (reader, leaky_reader_source(reader, writer, slots))]
+            )
+        message = str(exc.value)
+        assert writer in message and reader in message
+        assert f"{writer}_reg" in message  # witness starts at the state
+
+
+class TestLayoutProperties:
+    """Every ILP layout satisfies every Fig-10 constraint family."""
+
+    @given(specs=clean_module_specs(),
+           stages=st.sampled_from((6, 8)),
+           memory_kb=st.sampled_from((32, 64)))
+    @_SETTINGS
+    def test_layout_validates_on_random_targets(self, specs, stages,
+                                                memory_kb):
+        target = small_target(stages=stages, memory_kb=memory_kb)
+        sources = [(name, clean_module_source(name, rows, cells))
+                   for name, rows, cells in specs]
+        linked = link_files(sources)
+        try:
+            co = compile_linked(linked, target, options=_options())
+        except LayoutInfeasibleError:
+            # Pinned symbolics leave the ILP no elasticity to shrink
+            # into a tight target — a legitimately infeasible draw, not
+            # a constraint violation. The property is vacuous here.
+            assume(False)
+        validate_layout(co)  # raises LayoutValidationError on violation

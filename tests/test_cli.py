@@ -49,6 +49,53 @@ class TestCompileCommand:
         assert "error" in err
 
 
+class TestVerifyCommand:
+    @pytest.fixture()
+    def leaky_pair(self, tmp_path):
+        from tests.property.generators import (
+            leaky_reader_source,
+            writer_module_source,
+        )
+
+        wr = tmp_path / "wr.p4all"
+        wr.write_text(writer_module_source("wr"))
+        rd = tmp_path / "rd.p4all"
+        rd.write_text(leaky_reader_source("rd", "wr"))
+        return wr, rd
+
+    def test_verify_netcache_clean(self, capsys):
+        code = main(["verify", "--netcache"])
+        assert code == 0
+        out, _err = capsys.readouterr()
+        assert "kv" in out and "cms" in out
+        assert "isolation verified" in out
+
+    def test_verify_flags_leak_with_witness(self, leaky_pair, capsys):
+        wr, rd = leaky_pair
+        code = main([
+            "verify", str(wr), str(rd), "--stages", "6",
+            "--memory", "65536",
+        ])
+        assert code == 1
+        out, _err = capsys.readouterr()
+        assert "wr -> rd" in out
+        assert "witness" in out and "wr_reg" in out
+
+    def test_verify_allow_flag_reports_but_passes(self, leaky_pair, capsys):
+        wr, rd = leaky_pair
+        code = main([
+            "verify", str(wr), str(rd), "--stages", "6",
+            "--memory", "65536", "--allow-cross-module-state",
+        ])
+        assert code == 0
+        out, err = capsys.readouterr()
+        assert "cross-module flows" in out
+        assert "allowed" in err
+
+    def test_verify_without_input_is_usage_error(self, capsys):
+        assert main(["verify"]) == 2
+
+
 class TestOtherCommands:
     def test_bounds(self, cms_file, capsys):
         assert main(["bounds", str(cms_file), "--target", "toy3"]) == 0
