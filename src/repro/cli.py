@@ -14,14 +14,20 @@ Subcommands::
                                                  # multi-switch fleet
     p4all targets                                # list target specs
     p4all library [name]                         # dump library module source
-    p4all obs trace.json [--metrics out.prom]    # summarize observability
-                                                 # artifacts
+    p4all obs trace.json [--metrics out.prom] [--flight dump.jsonl]
+                                                 # summarize observability
+                                                 # artifacts (--format json
+                                                 # for machine-readable)
+    p4all top                                    # live fleet dashboard over
+                                                 # an embedded scenario
 
 ``compile`` and ``run`` accept ``--trace PATH`` (Chrome trace-event
 JSON of the command's span timeline — load it in Perfetto or
-``chrome://tracing``) and ``--metrics PATH`` (Prometheus textfile of
-the accumulated counters/gauges/histograms). ``p4all obs`` renders
-either artifact as a terminal summary. See docs/OBSERVABILITY.md.
+``chrome://tracing``), ``--metrics PATH`` (Prometheus textfile of
+the accumulated counters/gauges/histograms), and ``--flight PATH``
+(flight-recorder JSONL: the last few thousand events, dumped at exit
+or on crash). ``p4all obs`` renders any of the artifacts as a terminal
+summary. See docs/OBSERVABILITY.md.
 
 Every program-compiling subcommand accepts the same solver flags:
 ``--backend`` (``auto``/``scipy``/``bb``/``greedy``) and
@@ -140,6 +146,13 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
         help="write the accumulated metrics as a Prometheus textfile "
              "to PATH",
     )
+    parser.add_argument(
+        "--flight", default=None, metavar="PATH",
+        help="dump the flight-recorder ring (recent spans, batch notes, "
+             "telemetry, SLO violations) as JSONL to PATH at exit — or "
+             "at the crash point if the command dies (summarize with "
+             "'p4all obs --flight PATH')",
+    )
 
 
 def _with_obs(args, body) -> int:
@@ -150,12 +163,15 @@ def _with_obs(args, body) -> int:
     """
     from .obs import observed
 
-    with observed(getattr(args, "trace", None), getattr(args, "metrics", None)):
+    with observed(getattr(args, "trace", None), getattr(args, "metrics", None),
+                  flight_path=getattr(args, "flight", None)):
         result = body(args)
     if getattr(args, "trace", None):
         print(f"wrote trace to {args.trace}", file=sys.stderr)
     if getattr(args, "metrics", None):
         print(f"wrote metrics to {args.metrics}", file=sys.stderr)
+    if getattr(args, "flight", None):
+        print(f"wrote flight recording to {args.flight}", file=sys.stderr)
     return result
 
 
@@ -444,20 +460,63 @@ def _fabric_body(args) -> int:
 
 
 def _cmd_obs(args) -> int:
-    from .obs.summary import summarize_prometheus_file, summarize_trace_file
+    import json
 
-    if args.trace_file is None and args.metrics_file is None:
-        print("error: nothing to summarize — give a trace file and/or "
-              "--metrics FILE", file=sys.stderr)
+    from .obs.summary import (
+        flight_summary_data,
+        prometheus_summary_data,
+        summarize_flight_file,
+        summarize_prometheus_file,
+        summarize_trace_file,
+        trace_summary_data,
+    )
+
+    if (args.trace_file is None and args.metrics_file is None
+            and args.flight_file is None):
+        print("error: nothing to summarize — give a trace file, "
+              "--metrics FILE, and/or --flight FILE", file=sys.stderr)
         return 2
-    if args.trace_file is not None:
-        print(summarize_trace_file(args.trace_file, tree_depth=args.depth,
-                                   top=args.top))
-    if args.metrics_file is not None:
+    if args.format == "json":
+        out: dict = {}
         if args.trace_file is not None:
-            print()
-        print(summarize_prometheus_file(args.metrics_file))
+            out["trace"] = trace_summary_data(
+                json.loads(Path(args.trace_file).read_text()), top=args.top)
+        if args.metrics_file is not None:
+            out["metrics"] = prometheus_summary_data(
+                Path(args.metrics_file).read_text())
+        if args.flight_file is not None:
+            out["flight"] = flight_summary_data(args.flight_file)
+        print(json.dumps(out, indent=2, sort_keys=True, default=str))
+        return 0
+    sections = []
+    if args.trace_file is not None:
+        sections.append(summarize_trace_file(
+            args.trace_file, tree_depth=args.depth, top=args.top))
+    if args.metrics_file is not None:
+        sections.append(summarize_prometheus_file(args.metrics_file))
+    if args.flight_file is not None:
+        sections.append(summarize_flight_file(args.flight_file))
+    print("\n\n".join(sections))
     return 0
+
+
+def _cmd_top(args) -> int:
+    from .obs.top import run_top
+
+    return run_top(
+        mode="run" if args.run else "fabric",
+        packets=args.packets,
+        switches=args.switches,
+        window=args.window,
+        universe=args.universe,
+        alpha=args.alpha,
+        seed=args.seed,
+        engine=args.engine,
+        cut=not args.no_cut,
+        clear=False if args.no_clear else None,
+        target=_resolve_target(args),
+        options=_compile_options(args),
+    )
 
 
 def _cmd_targets(_args) -> int:
@@ -747,20 +806,62 @@ def build_parser() -> argparse.ArgumentParser:
     p_obs = sub.add_parser(
         "obs",
         help="summarize observability artifacts: a --trace Chrome trace "
-             "JSON (span tree + per-span aggregates) and/or a --metrics "
-             "Prometheus textfile",
+             "JSON (span tree + per-span aggregates), a --metrics "
+             "Prometheus textfile, and/or a --flight recorder dump",
     )
     p_obs.add_argument("trace_file", nargs="?", default=None,
                        help="Chrome trace-event JSON produced by --trace")
     p_obs.add_argument("--metrics", dest="metrics_file", default=None,
                        metavar="FILE",
                        help="Prometheus textfile produced by --metrics")
+    p_obs.add_argument("--flight", dest="flight_file", default=None,
+                       metavar="FILE",
+                       help="flight-recorder JSONL produced by --flight "
+                            "or a crash/SIGUSR1 dump")
+    p_obs.add_argument("--format", default="text",
+                       choices=["text", "json"],
+                       help="output rendering: terminal tables, or one "
+                            "JSON object with the same content "
+                            "(default: text)")
     p_obs.add_argument("--depth", type=int, default=6,
                        help="max depth of the rendered span tree (default: 6)")
     p_obs.add_argument("--top", type=int, default=20,
                        help="rows in the per-span aggregate table "
                             "(default: 20)")
     p_obs.set_defaults(func=_cmd_obs)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live terminal dashboard: drive an embedded fabric (or "
+             "--run elastic-runtime) scenario and repaint fleet / "
+             "pipeline / tenant-SLO metrics at every window",
+    )
+    p_top.add_argument("--run", action="store_true",
+                       help="drive the single-switch elastic runtime "
+                            "instead of the fabric fleet")
+    p_top.add_argument("--packets", type=int, default=8000,
+                       help="total packets to process (default: 8000)")
+    p_top.add_argument("--switches", type=int, default=3,
+                       help="fabric switches (default: 3)")
+    p_top.add_argument("--window", type=int, default=1000,
+                       help="monitoring window in packets (default: 1000)")
+    p_top.add_argument("--universe", type=int, default=4000,
+                       help="key universe size (default: 4000)")
+    p_top.add_argument("--alpha", type=float, default=1.1,
+                       help="Zipf skew (default: 1.1)")
+    p_top.add_argument("--seed", type=int, default=42,
+                       help="workload seed (default: 42)")
+    p_top.add_argument("--engine", default=None,
+                       choices=["compiled", "vector", "interp"],
+                       help="pipeline execution engine (default: compiled)")
+    p_top.add_argument("--no-cut", action="store_true",
+                       help="run without the scheduled mid-run memory cut")
+    p_top.add_argument("--no-clear", action="store_true",
+                       help="append frames instead of clearing the screen "
+                            "(for logs and pipes)")
+    _add_target_arg(p_top)
+    _add_solver_args(p_top)
+    p_top.set_defaults(func=_cmd_top)
 
     p_targets = sub.add_parser("targets", help="list known target specifications")
     p_targets.set_defaults(func=_cmd_targets)

@@ -47,9 +47,10 @@ from ..apps.netcache import NetCacheApp, netcache_linked
 from ..core import CompileOptions
 from ..core.cache import CompileCache
 from ..core.errors import CompileError
-from ..obs import bridge_telemetry
+from ..obs import bridge_fleet_report, bridge_telemetry
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs.slo import SloMonitor
 from ..pisa import Packet
 from ..pisa.resources import TargetSpec
 from ..runtime.controller import ReconfigRecord
@@ -87,6 +88,8 @@ class FleetConfig:
     workers: int | None = None       # flow-sharded processes per switch
                                      # (batched serve only); None =
                                      # REPRO_PISA_WORKERS, or 1
+    slo_rules: tuple | None = None   # SLO rules (None = defaults, see
+                                     # repro.obs.slo.default_slo_rules)
 
 
 @dataclass
@@ -138,6 +141,7 @@ class FleetReport:
     migrations: list = field(default_factory=list)
     rebalances: list[dict] = field(default_factory=list)
     final_symbols: dict[str, dict[str, int]] = field(default_factory=dict)
+    slo_violations: list[dict] = field(default_factory=list)
 
     @property
     def hit_rate(self) -> float:
@@ -234,6 +238,7 @@ class FleetReport:
             ],
             "migrations": [m.to_dict() for m in self.migrations],
             "rebalances": self.rebalances,
+            "slo_violations": list(self.slo_violations),
         }
 
 
@@ -271,6 +276,10 @@ class FleetController:
         self._last_rebalance_window = -(10 ** 9)
         self._workers = None          # ParallelFleet when config.parallel
         self._installed = False
+        #: Per-switch SLO monitoring (subjects are switch names here;
+        #: the single-switch runtime uses tenant modules).
+        self.slo = SloMonitor(rules=self.config.slo_rules,
+                              telemetry=self.telemetry)
 
     # -- construction -----------------------------------------------------------
     def planner_for(self, name: str) -> ReconfigPlanner:
@@ -308,7 +317,7 @@ class FleetController:
         """
         names = self._installable()
         started = time.perf_counter()
-        with trace.span("fabric.install", switches=len(names)):
+        with trace.span("fleet.install", switches=len(names)):
             plans = self._plan_concurrent(
                 {name: self.topology.node(name).target for name in names},
                 cause="initial",
@@ -346,26 +355,29 @@ class FleetController:
             groups[target].append(name)
         plans: dict[str, PlanResult] = {}
         started = time.perf_counter()
-        for target, names in groups.items():
-            leader = names[0]
-            plans[leader] = self.planner_for(leader).plan(
-                self.source, target, cause=cause
-            )
-        rest = [name for name in targets if name not in plans]
-        workers = min(self.config.recompile_workers, len(rest)) or 1
-        if rest:
-            with ThreadPoolExecutor(
-                max_workers=workers, thread_name_prefix="fleet-plan"
-            ) as pool:
-                futures = {
-                    name: pool.submit(
-                        self.planner_for(name).plan,
-                        self.source, targets[name], cause,
-                    )
-                    for name in rest
-                }
-                for name, future in futures.items():
-                    plans[name] = future.result()
+        with trace.span("fleet.plan", switches=len(targets),
+                        cause=cause) as plan_span:
+            for target, names in groups.items():
+                leader = names[0]
+                plans[leader] = self.planner_for(leader).plan(
+                    self.source, target, cause=cause
+                )
+            rest = [name for name in targets if name not in plans]
+            workers = min(self.config.recompile_workers, len(rest)) or 1
+            if rest:
+                with ThreadPoolExecutor(
+                    max_workers=workers, thread_name_prefix="fleet-plan"
+                ) as pool:
+                    futures = {
+                        name: pool.submit(
+                            self.planner_for(name).plan,
+                            self.source, targets[name], cause,
+                        )
+                        for name in rest
+                    }
+                    for name, future in futures.items():
+                        plans[name] = future.result()
+            plan_span.set_attrs(groups=len(groups), concurrent=len(rest))
         self.telemetry.emit(
             "fleet_recompile",
             packet_index=self.packets_processed,
@@ -470,13 +482,17 @@ class FleetController:
                     "rollback", packet_index=self.packets_processed,
                     switch=name, cause=cause, error=str(exc),
                 )
-                self._count_reconfig(cause, "rolled-back")
+                self._count_reconfig(name, cause, "rolled-back")
+                self.slo.observe("reconfig_seconds", name, record.seconds,
+                                 packet_index=self.packets_processed)
                 return record
             node.app = new_app
             node.target = target
             record.committed = True
             record.seconds = time.perf_counter() - started
             span.set_attrs(committed=True, backend=plan.backend)
+        self.slo.observe("reconfig_seconds", name, record.seconds,
+                         packet_index=self.packets_processed)
         self.telemetry.emit(
             "swap_committed",
             packet_index=self.packets_processed,
@@ -484,16 +500,20 @@ class FleetController:
             fallback=plan.fallback, seconds=record.seconds,
             symbols=dict(plan.compiled.symbol_values),
         )
-        self._count_reconfig(cause, "committed")
+        self._count_reconfig(name, cause, "committed")
         return record
 
-    @staticmethod
-    def _count_reconfig(cause: str, outcome: str) -> None:
+    def _count_reconfig(self, switch: str, cause: str, outcome: str) -> None:
         obs_metrics.counter(
             "p4all_fabric_reconfigs_total",
             help="Per-switch fabric reconfigurations, by cause and outcome.",
             labels=("cause", "outcome"),
         ).inc(cause=cause, outcome=outcome)
+        obs_metrics.counter(
+            "p4all_fleet_reconfigs_total",
+            help="Fleet reconfigurations with per-switch attribution.",
+            labels=("switch", "cause", "outcome"),
+        ).inc(switch=switch, cause=cause, outcome=outcome)
 
     # -- migration ---------------------------------------------------------------
     def migrate(self, src: str, dst: str, cause: str = "migration",
@@ -548,6 +568,14 @@ class FleetController:
                 self._window(keys, report, migration_due)
             run_span.set_attrs(hit_rate=report.hit_rate,
                                windows=len(report.windows))
+            report.packets = sum(
+                s.packets for s in report.per_switch.values())
+            report.hits = sum(s.hits for s in report.per_switch.values())
+            report.slo_violations = list(self.slo.violations)
+            # Mirror the fleet outcome into the still-open fabric.run
+            # span (and the flight recorder) the way runtime telemetry
+            # already lands in the span tree.
+            bridge_fleet_report(report)
         for name in self.ring.names:
             app = self.topology.node(name).app
             if app is not None:
@@ -671,6 +699,9 @@ class FleetController:
                 help="Packets served by fabric switches.",
                 labels=("switch",),
             ).inc(pkts, switch=name)
+            if pkts:
+                self.slo.observe("hit_rate", name, hits / pkts,
+                                 packet_index=self.packets_processed)
         obs_metrics.gauge(
             "p4all_fabric_window_hit_rate",
             help="Fleet-wide hit rate of the most recent window.",

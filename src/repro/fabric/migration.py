@@ -155,7 +155,7 @@ def migrate_node(controller, src: str, dst: str,
     started = time.perf_counter()
     old_ring = controller.ring.copy()
     report.moved_fraction = old_ring.owner_shares().get(src, 0.0)
-    with trace.span("fabric.migrate", src=src, dst=dst,
+    with trace.span("fleet.migrate", src=src, dst=dst,
                     cause=cause) as span:
         # Pre-image of the destination, for rollback.
         dst_rollback = snapshot_registers(dst_node.pipeline)
@@ -228,6 +228,11 @@ def _finish(controller, report: FabricMigrationReport,
         help="Live app migrations between fabric switches, by outcome.",
         labels=("outcome",),
     ).inc(outcome=outcome)
+    obs_metrics.counter(
+        "p4all_fleet_migrations_total",
+        help="Live app migrations with per-switch attribution.",
+        labels=("src", "dst", "result"),
+    ).inc(src=report.src, dst=report.dst, result=outcome)
     if report.committed:
         obs_metrics.histogram(
             "p4all_fabric_migration_downtime_packets",

@@ -42,6 +42,8 @@ from __future__ import annotations
 import multiprocessing as mp
 import time
 
+from ..obs import merge_worker_obs, obs_control, trace
+from ..obs.aggregate import WorkerObsCapture
 from ..runtime.migrate import (
     RegisterSnapshot,
     readmit_by_heat,
@@ -52,13 +54,15 @@ from ..runtime.migrate import (
 __all__ = ["ParallelFleet", "SwitchWorker"]
 
 
-def _worker_main(app, conn, serve_batch: int | None = None) -> None:
+def _worker_main(app, conn, serve_batch: int | None = None,
+                 name: str = "") -> None:
     """Forked per-switch serving loop (runs in the child process).
 
     ``serve_batch > 0`` serves each shard through the batched fast path
     (the vector engine's whole-batch kernels); the switch process itself
     is already the unit of parallelism, so intra-switch sharding stays
     off here."""
+    capture = WorkerObsCapture()
     while True:
         try:
             command = conn.recv()
@@ -67,10 +71,13 @@ def _worker_main(app, conn, serve_batch: int | None = None) -> None:
         op = command[0]
         if op == "run":
             keys = command[1]
+            capture.begin(command[2] if len(command) > 2 else None)
             t0 = time.perf_counter()
-            stats = app.run_trace(keys, serve_batch=serve_batch)
+            with trace.span("fleet.worker.run", switch=name) as span:
+                stats = app.run_trace(keys, serve_batch=serve_batch)
+                span.set_attrs(packets=stats.packets, hits=stats.hits)
             conn.send((stats.packets, stats.hits,
-                       time.perf_counter() - t0))
+                       time.perf_counter() - t0, capture.finish()))
         elif op == "snapshot":
             snap = snapshot_registers(app.pipeline)
             entries = app.cached_entries()
@@ -109,11 +116,12 @@ class SwitchWorker:
     """Parent-side handle on one forked switch process."""
 
     def __init__(self, name: str, app, ctx,
-                 serve_batch: int | None = None) -> None:
+                 serve_batch: int | None = None, track: int = 0) -> None:
         self.name = name
+        self.track = track
         self.conn, child = ctx.Pipe()
         self.process = ctx.Process(
-            target=_worker_main, args=(app, child, serve_batch),
+            target=_worker_main, args=(app, child, serve_batch, name),
             name=f"switch-{name}", daemon=True,
         )
         self.process.start()
@@ -127,6 +135,17 @@ class SwitchWorker:
         if isinstance(result, Exception):
             raise result
         return result
+
+    def submit_run(self, keys) -> None:
+        self.submit("run", keys, obs_control())
+
+    def collect_run(self) -> tuple[int, int, float]:
+        """Collect a run reply, folding the worker's spans/metric
+        deltas into the parent's tracer and registry."""
+        packets, hits, busy, obs_payload = self.collect()
+        merge_worker_obs(obs_payload, worker=self.name, track=self.track,
+                         track_name=f"switch-{self.name}")
+        return packets, hits, busy
 
     def call(self, *command):
         self.submit(*command)
@@ -155,21 +174,24 @@ class ParallelFleet:
         ctx = mp.get_context("fork")
         serve_batch = getattr(controller.config, "serve_batch", None)
         self.workers: dict[str, SwitchWorker] = {}
-        for name in controller._installable():
+        for i, name in enumerate(controller._installable()):
             app = controller.topology.node(name).app
             if app is not None:
-                self.workers[name] = SwitchWorker(name, app, ctx,
-                                                  serve_batch=serve_batch)
+                self.workers[name] = SwitchWorker(
+                    name, app, ctx, serve_batch=serve_batch,
+                    track=2_000_000 + i)
 
     def run_shard(self, name: str, keys) -> tuple[int, int, float]:
-        return self.workers[name].call("run", keys)
+        worker = self.workers[name]
+        worker.submit_run(keys)
+        return worker.collect_run()
 
     def run_window(self, shards: dict) -> dict[str, tuple[int, int, float]]:
         """Serve one window's shards concurrently: submit everything,
         then collect — workers overlap on a multi-core host."""
         for name, keys in shards.items():
-            self.workers[name].submit("run", keys)
-        return {name: self.workers[name].collect() for name in shards}
+            self.workers[name].submit_run(keys)
+        return {name: self.workers[name].collect_run() for name in shards}
 
     def snapshot(self, name: str) -> tuple[RegisterSnapshot, list, dict]:
         return self.workers[name].call("snapshot")

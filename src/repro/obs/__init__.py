@@ -31,7 +31,17 @@ layer (lang → core → ilp → pisa → runtime) may depend on it without
 cycles.
 """
 
-from .bridge import bridge_telemetry
+from .aggregate import (
+    WorkerObsCapture,
+    adopt_spans,
+    apply_obs_control,
+    merge_metric_deltas,
+    merge_worker_obs,
+    metric_deltas,
+    obs_control,
+    snapshot_metrics,
+)
+from .bridge import bridge_fleet_report, bridge_telemetry
 from .export import (
     chrome_trace,
     validate_chrome_trace,
@@ -43,12 +53,30 @@ from .export import (
     write_trace_jsonl,
 )
 from .metrics import Counter, Gauge, Histogram, MetricError, MetricsRegistry
+from .record import FlightRecorder, install_flight_dump, maybe_install_from_env
+from .slo import SloMonitor, SloRule, default_slo_rules
 from .tracer import NULL_SPAN, Span, SpanEvent, Tracer
 
 __all__ = [
     "trace",
     "metrics",
+    "flight",
     "observed",
+    "FlightRecorder",
+    "install_flight_dump",
+    "maybe_install_from_env",
+    "SloMonitor",
+    "SloRule",
+    "default_slo_rules",
+    "WorkerObsCapture",
+    "obs_control",
+    "apply_obs_control",
+    "snapshot_metrics",
+    "metric_deltas",
+    "merge_metric_deltas",
+    "adopt_spans",
+    "merge_worker_obs",
+    "bridge_fleet_report",
     "Tracer",
     "Span",
     "SpanEvent",
@@ -76,6 +104,15 @@ trace = Tracer()
 #: Process-wide metrics registry; always on.
 metrics = MetricsRegistry()
 
+#: Process-wide flight recorder; always on (one tuple append per
+#: note). Registered as a tracer sink so finished spans land in the
+#: ring even when no exporter is configured.
+flight = FlightRecorder()
+trace.sinks.append(flight.on_span)
+
+# REPRO_FLIGHT=/path/out.jsonl arms crash/signal dumping process-wide.
+maybe_install_from_env(flight)
+
 
 class observed:
     """Context manager tying a region to exported artifacts.
@@ -88,16 +125,26 @@ class observed:
     """
 
     def __init__(self, trace_path=None, metrics_path=None,
-                 tracer: Tracer | None = None,
-                 registry: MetricsRegistry | None = None):
+                 flight_path=None, tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None,
+                 recorder: FlightRecorder | None = None):
         self.trace_path = trace_path
         self.metrics_path = metrics_path
+        self.flight_path = flight_path
         self.tracer = tracer if tracer is not None else trace
         self.registry = registry if registry is not None else metrics
+        self.recorder = recorder if recorder is not None else flight
+        self._uninstall_flight = None
 
     def __enter__(self) -> "observed":
         if self.trace_path is not None:
             self.tracer.enable(reset=True)
+        if self.flight_path is not None:
+            # Arm crash/signal dumping for the duration of the region;
+            # a clean exit writes the ring below anyway.
+            self._uninstall_flight = install_flight_dump(
+                self.flight_path, self.recorder
+            )
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -106,4 +153,10 @@ class observed:
             self.tracer.disable()
         if self.metrics_path is not None:
             write_prometheus(self.registry, self.metrics_path)
+        if self.flight_path is not None:
+            if self._uninstall_flight is not None:
+                self._uninstall_flight()
+                self._uninstall_flight = None
+            if exc_type is None:  # crash path already dumped via hook
+                self.recorder.dump(self.flight_path, self.registry)
         return False

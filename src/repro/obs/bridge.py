@@ -20,7 +20,7 @@ from __future__ import annotations
 from .metrics import MetricsRegistry
 from .tracer import Tracer
 
-__all__ = ["bridge_telemetry"]
+__all__ = ["bridge_telemetry", "bridge_fleet_report"]
 
 
 def bridge_telemetry(bus, tracer: Tracer | None = None,
@@ -45,11 +45,56 @@ def bridge_telemetry(bus, tracer: Tracer | None = None,
         labels=("kind",),
     )
 
+    from . import flight
+
     def _mirror(event) -> None:
         counter.inc(kind=event.kind)
+        # Control-plane events always land in the flight recorder ring
+        # — that is the record a post-crash dump is for.
+        flight.note("telemetry", event.kind, **event.data)
         if tracer.enabled:
             tracer.event("telemetry." + event.kind, **event.to_dict())
 
     bus.subscribe(_mirror)
     bridged.add(key)
     return bus
+
+
+def bridge_fleet_report(report, tracer: Tracer | None = None) -> None:
+    """Mirror a :class:`~repro.fabric.controller.FleetReport` into the
+    active span tree, the way runtime telemetry already lands there.
+
+    Emits one ``fleet.report`` instant with the fleet-level summary and
+    one ``fleet.reconfig`` instant per per-switch reconfiguration
+    record, all inside whatever span is open (the fleet controller
+    calls this while its ``fabric.run`` span is still live). The same
+    records go to the flight recorder unconditionally.
+    """
+    from . import flight
+    from . import trace as default_tracer
+
+    tracer = tracer if tracer is not None else default_tracer
+    summary = {
+        "packets": getattr(report, "packets", 0),
+        "hits": getattr(report, "hits", 0),
+        "hit_rate": getattr(report, "hit_rate", 0.0),
+        "switches": len(getattr(report, "switch_stats", {}) or {}),
+        "reconfigs": len(getattr(report, "reconfigs", []) or []),
+        "migrations": len(getattr(report, "migrations", []) or []),
+    }
+    flight.note("fleet", "fleet_report", **summary)
+    if tracer.enabled:
+        tracer.event("fleet.report", **summary)
+        for item in getattr(report, "reconfigs", []) or []:
+            # FleetReport stores reconfigs as (switch, record) pairs.
+            if isinstance(item, tuple) and len(item) == 2:
+                attrs = {"switch": item[0]}
+                record = item[1]
+            else:
+                attrs = {}
+                record = item
+            if hasattr(record, "to_dict"):
+                attrs.update(record.to_dict())
+            elif isinstance(record, dict):
+                attrs.update(record)
+            tracer.event("fleet.reconfig", **attrs)

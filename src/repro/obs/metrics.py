@@ -182,6 +182,28 @@ class Histogram(_Metric):
             state["sum"] += value
             state["count"] += 1
 
+    def merge_state(self, state: dict[str, Any], **label_values: Any) -> None:
+        """Fold a foreign ``{"counts", "sum", "count"}`` state in,
+        bucket-wise. Cross-process aggregation: a worker ships its
+        histogram state and the parent merges it here."""
+        counts = state["counts"]
+        if len(counts) != len(self.buckets):
+            raise MetricError(
+                f"histogram {self.name!r} merge: {len(counts)} buckets "
+                f"shipped, {len(self.buckets)} registered"
+            )
+        key = self._key(label_values)
+        with self._lock:
+            mine = self._values.get(key)
+            if mine is None:
+                mine = {"counts": [0] * len(self.buckets),
+                        "sum": 0.0, "count": 0}
+                self._values[key] = mine
+            for i, c in enumerate(counts):
+                mine["counts"][i] += c
+            mine["sum"] += state["sum"]
+            mine["count"] += state["count"]
+
     def snapshot(self, **label_values: Any) -> dict[str, Any]:
         key = self._key(label_values)
         with self._lock:

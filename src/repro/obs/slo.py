@@ -1,0 +1,203 @@
+"""Per-tenant SLO monitoring: EWMA + threshold rules over runtime signals.
+
+The elastic control loop's whole promise is that tenants keep their
+service level through resource cuts and migrations. This module watches
+the signals that promise is made of — per-module hit rate, headroom
+over the utility floor the ILP was told to respect, reconfiguration
+latency — smooths each (rule, subject) series with an EWMA, and raises
+a structured ``slo_violation`` exactly once per excursion (with a
+matching ``slo_recovered`` when the series comes back).
+
+Violations go everywhere an operator might be looking:
+
+* the runtime's :class:`~repro.runtime.telemetry.TelemetryBus` (so the
+  runtime/fleet controllers and run reports consume them, and the
+  bridge mirrors them into the active span for ``p4all obs``);
+* the ``p4all_slo_violations_total{rule,subject}`` counter and the
+  ``p4all_slo_ewma{rule,subject}`` gauge;
+* the flight recorder ring.
+
+:class:`SloMonitor` is deliberately passive — controllers feed it via
+:meth:`~SloMonitor.observe` from signals they already compute, so it
+adds no measurement of its own to the hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracer import Tracer
+
+__all__ = ["SloRule", "SloMonitor", "default_slo_rules"]
+
+
+@dataclass(frozen=True)
+class SloRule:
+    """One threshold rule over an EWMA-smoothed series.
+
+    ``direction="min"`` fires when the EWMA drops *below* ``threshold``
+    (hit rate, headroom); ``"max"`` fires when it rises above
+    (latency). ``warmup`` samples are consumed before the rule is ever
+    evaluated — windowed hit rates are garbage until caches fill — and
+    ``min_samples`` more must arrive before the first verdict.
+    """
+
+    name: str
+    threshold: float
+    direction: str = "min"      # "min" | "max"
+    alpha: float = 0.4          # EWMA weight of the newest sample
+    min_samples: int = 3
+    warmup: int = 0
+
+    def __post_init__(self):
+        if self.direction not in ("min", "max"):
+            raise ValueError(f"SloRule direction must be min|max, "
+                             f"got {self.direction!r}")
+        if not 0.0 < self.alpha <= 1.0:
+            raise ValueError(f"SloRule alpha must be in (0, 1], "
+                             f"got {self.alpha}")
+
+    def breached(self, ewma: float) -> bool:
+        if self.direction == "min":
+            return ewma < self.threshold
+        return ewma > self.threshold
+
+
+def default_slo_rules() -> tuple[SloRule, ...]:
+    """The rules the runtime and fleet controllers install by default."""
+    return (
+        # Per-tenant windowed hit rate: fire when the smoothed rate
+        # sinks below 25%. Warm up past the cold-cache windows first.
+        SloRule("hit_rate", threshold=0.25, direction="min",
+                alpha=0.35, min_samples=3, warmup=5),
+        # Weighted utility minus the tenant's declared floor: any
+        # negative headroom means the ILP's floor promise is broken —
+        # one committed layout is enough evidence, no smoothing.
+        SloRule("utility_headroom", threshold=0.0, direction="min",
+                alpha=1.0, min_samples=1),
+        # Reconfiguration wall-clock: the control loop must stay
+        # responsive to pressure.
+        SloRule("reconfig_seconds", threshold=30.0, direction="max",
+                alpha=0.5, min_samples=1),
+    )
+
+
+@dataclass
+class _Series:
+    ewma: float = 0.0
+    samples: int = 0
+    violating: bool = False
+
+
+class SloMonitor:
+    """Tracks (rule, subject) series and raises structured violations."""
+
+    def __init__(self, rules=None, telemetry=None,
+                 tracer: Tracer | None = None,
+                 registry: MetricsRegistry | None = None,
+                 recorder=None):
+        if tracer is None:
+            from . import trace as tracer
+        if registry is None:
+            from . import metrics as registry
+        if recorder is None:
+            from . import flight as recorder
+        self.rules: dict[str, SloRule] = {
+            r.name: r for r in (rules if rules is not None
+                                else default_slo_rules())
+        }
+        self.telemetry = telemetry
+        self.tracer = tracer
+        self.registry = registry
+        self.recorder = recorder
+        self._series: dict[tuple[str, str], _Series] = {}
+        self.violations: list[dict[str, Any]] = []
+        self._ewma_gauge = registry.gauge(
+            "p4all_slo_ewma",
+            help="EWMA-smoothed SLO signal per rule and subject.",
+            labels=("rule", "subject"),
+        )
+        self._violation_counter = registry.counter(
+            "p4all_slo_violations_total",
+            help="SLO violation transitions per rule and subject.",
+            labels=("rule", "subject"),
+        )
+
+    # -- feeding ---------------------------------------------------------------
+    def observe(self, rule_name: str, subject: str, value: float,
+                packet_index: int | None = None) -> dict[str, Any] | None:
+        """Feed one sample; returns the violation record when this
+        sample tips the series over, else None."""
+        rule = self.rules.get(rule_name)
+        if rule is None:
+            return None
+        series = self._series.setdefault((rule_name, subject), _Series())
+        series.samples += 1
+        if series.samples == 1:
+            series.ewma = float(value)
+        else:
+            series.ewma += rule.alpha * (float(value) - series.ewma)
+        self._ewma_gauge.set(series.ewma, rule=rule_name, subject=subject)
+        if series.samples < rule.warmup + rule.min_samples:
+            return None
+        breached = rule.breached(series.ewma)
+        if breached and not series.violating:
+            series.violating = True
+            return self._raise(rule, subject, value, series, packet_index)
+        if not breached and series.violating:
+            series.violating = False
+            self._emit("slo_recovered", rule, subject, value, series,
+                       packet_index)
+        return None
+
+    def _raise(self, rule: SloRule, subject: str, value: float,
+               series: _Series, packet_index) -> dict[str, Any]:
+        record = {
+            "rule": rule.name,
+            "subject": subject,
+            "value": float(value),
+            "ewma": series.ewma,
+            "threshold": rule.threshold,
+            "direction": rule.direction,
+            "packet_index": packet_index,
+        }
+        self.violations.append(record)
+        self._violation_counter.inc(rule=rule.name, subject=subject)
+        self.recorder.note("slo", "slo_violation", **record)
+        self._emit("slo_violation", rule, subject, value, series,
+                   packet_index)
+        return record
+
+    def _emit(self, kind: str, rule: SloRule, subject: str, value: float,
+              series: _Series, packet_index) -> None:
+        if self.telemetry is not None:
+            # The bridge mirrors bus events into the span tree, so
+            # emitting here reaches the trace too (no double event).
+            self.telemetry.emit(
+                kind, packet_index=packet_index, rule=rule.name,
+                subject=subject, value=float(value), ewma=series.ewma,
+                threshold=rule.threshold, direction=rule.direction,
+            )
+        else:
+            self.tracer.event(
+                "slo." + kind, rule=rule.name, subject=subject,
+                value=float(value), ewma=series.ewma,
+                threshold=rule.threshold,
+            )
+
+    # -- introspection ---------------------------------------------------------
+    def status(self) -> dict[str, Any]:
+        """Current EWMA/violating state of every tracked series."""
+        return {
+            f"{rule}:{subject}": {
+                "ewma": s.ewma,
+                "samples": s.samples,
+                "violating": s.violating,
+            }
+            for (rule, subject), s in sorted(self._series.items())
+        }
+
+    def __len__(self) -> int:
+        return len(self.violations)

@@ -1,11 +1,16 @@
 """Human-readable summaries of exported observability artifacts.
 
 Backs ``p4all obs``: given a Chrome trace JSON (and optionally a
-Prometheus textfile), print an aggregate table per span name, the
-reconstructed tree of the slowest root span (exact parentage via the
-``span_id``/``parent_id`` the exporter stashes in ``args``), and the
-metric families with their samples. Works on the files alone — no live
-tracer or registry needed.
+Prometheus textfile or a flight-recorder JSONL), print an aggregate
+table per span name, the reconstructed tree of the slowest root span
+(exact parentage via the ``span_id``/``parent_id`` the exporter stashes
+in ``args``), instant events grouped by name — with SLO violations
+called out — and the metric families with their samples. Works on the
+files alone — no live tracer or registry needed.
+
+Each text renderer sits on a ``*_data`` companion that returns the same
+content as plain dicts/lists; ``p4all obs --format json`` emits those
+verbatim, so scripts get structure without scraping the tables.
 """
 
 from __future__ import annotations
@@ -13,12 +18,70 @@ from __future__ import annotations
 import json
 from pathlib import Path
 
-__all__ = ["summarize_chrome_trace", "summarize_prometheus_text",
-           "summarize_prometheus_file", "summarize_trace_file"]
+__all__ = [
+    "summarize_chrome_trace",
+    "summarize_prometheus_text",
+    "summarize_prometheus_file",
+    "summarize_trace_file",
+    "summarize_flight_file",
+    "trace_summary_data",
+    "prometheus_summary_data",
+    "flight_summary_data",
+]
+
+#: Instant-event names that carry an SLO violation: the telemetry
+#: bridge mirrors bus events as ``telemetry.<kind>``, the monitor's
+#: direct tracer path emits ``slo.<kind>``.
+_SLO_EVENT_NAMES = ("telemetry.slo_violation", "slo.slo_violation")
 
 
 def _fmt_ms(us: float) -> str:
     return f"{us / 1000.0:10.3f}ms"
+
+
+def trace_summary_data(obj: dict, top: int = 20) -> dict:
+    """Structured summary of a Chrome trace-event JSON object."""
+    complete = [e for e in obj.get("traceEvents", [])
+                if e.get("ph") == "X"]
+    instants = [e for e in obj.get("traceEvents", [])
+                if e.get("ph") == "i"]
+
+    stats: dict[str, list[float]] = {}
+    for event in complete:
+        stats.setdefault(event["name"], []).append(float(event.get("dur", 0)))
+    ranked = sorted(stats.items(), key=lambda kv: -sum(kv[1]))
+    aggregates = [
+        {"name": name, "count": len(durs), "total_us": sum(durs),
+         "mean_us": sum(durs) / len(durs), "max_us": max(durs)}
+        for name, durs in ranked[:top]
+    ]
+
+    events_by_name: dict[str, int] = {}
+    for event in instants:
+        events_by_name[event["name"]] = events_by_name.get(event["name"], 0) + 1
+
+    slo_violations = [
+        {k: v for k, v in event.get("args", {}).items() if k != "span_id"}
+        for event in instants if event["name"] in _SLO_EVENT_NAMES
+    ]
+
+    workers = sorted({
+        event["args"]["worker"]
+        for event in complete
+        if event["name"].endswith("worker.batch")
+        and "worker" in event.get("args", {})
+    }, key=str)
+
+    return {
+        "spans": len(complete),
+        "events": len(instants),
+        "span_names": len(stats),
+        "aggregates": aggregates,
+        "events_by_name": dict(sorted(events_by_name.items(),
+                                      key=lambda kv: -kv[1])),
+        "slo_violations": slo_violations,
+        "workers": workers,
+    }
 
 
 def summarize_chrome_trace(obj: dict, tree_depth: int = 6,
@@ -30,25 +93,37 @@ def summarize_chrome_trace(obj: dict, tree_depth: int = 6,
                 if e.get("ph") == "i"]
     if not complete:
         return "trace contains no spans"
+    data = trace_summary_data(obj, top=top)
 
-    # -- aggregate by span name ------------------------------------------------
-    stats: dict[str, list[float]] = {}
-    for event in complete:
-        stats.setdefault(event["name"], []).append(float(event.get("dur", 0)))
     lines = [
-        f"{len(complete)} spans, {len(instants)} events, "
-        f"{len(stats)} distinct span names",
+        f"{data['spans']} spans, {data['events']} events, "
+        f"{data['span_names']} distinct span names",
         "",
         f"{'span':<28} {'count':>6} {'total':>12} {'mean':>12} {'max':>12}",
     ]
-    ranked = sorted(stats.items(), key=lambda kv: -sum(kv[1]))
-    for name, durs in ranked[:top]:
+    for row in data["aggregates"]:
         lines.append(
-            f"{name:<28} {len(durs):>6} {_fmt_ms(sum(durs)):>12} "
-            f"{_fmt_ms(sum(durs) / len(durs)):>12} {_fmt_ms(max(durs)):>12}"
+            f"{row['name']:<28} {row['count']:>6} "
+            f"{_fmt_ms(row['total_us']):>12} "
+            f"{_fmt_ms(row['mean_us']):>12} {_fmt_ms(row['max_us']):>12}"
         )
-    if len(ranked) > top:
-        lines.append(f"... and {len(ranked) - top} more span names")
+    if data["span_names"] > top:
+        lines.append(f"... and {data['span_names'] - top} more span names")
+
+    if data["events_by_name"]:
+        lines += ["", "events by name:"]
+        for name, count in list(data["events_by_name"].items())[:top]:
+            lines.append(f"  {name:<40} {count:>6}")
+
+    if data["slo_violations"]:
+        lines += ["", f"SLO violations ({len(data['slo_violations'])}):"]
+        for record in data["slo_violations"]:
+            lines.append(
+                f"  {record.get('rule', '?')} on "
+                f"{record.get('subject', '?')}: value "
+                f"{record.get('value', '?')} ewma {record.get('ewma', '?')} "
+                f"vs threshold {record.get('threshold', '?')}"
+            )
 
     # -- tree of the slowest root ----------------------------------------------
     by_id: dict[int, dict] = {}
@@ -92,8 +167,8 @@ def summarize_trace_file(path: str | Path, **kwargs) -> str:
     return summarize_chrome_trace(json.loads(Path(path).read_text()), **kwargs)
 
 
-def summarize_prometheus_text(text: str, max_samples: int = 8) -> str:
-    """Family-by-family view of a Prometheus textfile."""
+def prometheus_summary_data(text: str) -> dict:
+    """Structured family-by-family view of a Prometheus textfile."""
     families: dict[str, dict] = {}
     order: list[str] = []
     for line in text.splitlines():
@@ -117,6 +192,13 @@ def summarize_prometheus_text(text: str, max_samples: int = 8) -> str:
         if family not in order:
             order.append(family)
         families[family]["samples"].append(line)
+    return {"families": families, "order": order}
+
+
+def summarize_prometheus_text(text: str, max_samples: int = 8) -> str:
+    """Family-by-family view of a Prometheus textfile."""
+    data = prometheus_summary_data(text)
+    families, order = data["families"], data["order"]
     if not families:
         return "no metrics"
     lines = [f"{len(families)} metric families"]
@@ -135,3 +217,62 @@ def summarize_prometheus_text(text: str, max_samples: int = 8) -> str:
 
 def summarize_prometheus_file(path: str | Path, **kwargs) -> str:
     return summarize_prometheus_text(Path(path).read_text(), **kwargs)
+
+
+def flight_summary_data(path: str | Path) -> dict:
+    """Structured view of a flight-recorder JSONL dump."""
+    entries: list[dict] = []
+    snapshot = None
+    for line in Path(path).read_text().splitlines():
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if record.get("kind") == "metrics_snapshot":
+            snapshot = record
+        else:
+            entries.append(record)
+    by_kind: dict[str, int] = {}
+    for entry in entries:
+        by_kind[entry.get("kind", "?")] = by_kind.get(entry.get("kind", "?"), 0) + 1
+    return {
+        "entries": len(entries),
+        "by_kind": dict(sorted(by_kind.items(), key=lambda kv: -kv[1])),
+        "last": entries[-10:],
+        "metrics_families": (len(snapshot["metrics"])
+                             if snapshot and "metrics" in snapshot else 0),
+        "slo_violations": [e for e in entries
+                           if e.get("kind") in ("slo", "telemetry")
+                           and e.get("name") == "slo_violation"],
+    }
+
+
+def summarize_flight_file(path: str | Path) -> str:
+    """Terminal rendering of a flight-recorder JSONL dump."""
+    data = flight_summary_data(path)
+    if not data["entries"]:
+        return "flight dump is empty"
+    lines = [f"{data['entries']} flight entries, "
+             f"{data['metrics_families']} metric families in the closing "
+             f"snapshot"]
+    lines.append("entries by kind:")
+    for kind, count in data["by_kind"].items():
+        lines.append(f"  {kind:<16} {count:>6}")
+    if data["slo_violations"]:
+        lines.append(f"SLO violations ({len(data['slo_violations'])}):")
+        for entry in data["slo_violations"]:
+            record = entry.get("data", {})
+            lines.append(
+                f"  {record.get('rule', '?')} on "
+                f"{record.get('subject', '?')}: ewma "
+                f"{record.get('ewma', '?')} vs {record.get('threshold', '?')}"
+            )
+    lines.append("last entries:")
+    for entry in data["last"]:
+        detail = ""
+        if entry.get("data"):
+            pairs = ", ".join(f"{k}={v}" for k, v in
+                              list(entry["data"].items())[:4])
+            detail = f"  ({pairs})"
+        lines.append(f"  #{entry.get('seq', '?')} {entry.get('kind', '?')}"
+                     f"/{entry.get('name', '?')}{detail}")
+    return "\n".join(lines)

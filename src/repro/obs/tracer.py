@@ -183,6 +183,9 @@ class Tracer:
         self._events: list[SpanEvent] = []   # events outside any span
         self._epoch = time.perf_counter()
         self.wall_epoch = time.time()
+        #: Callables invoked with each finished span (flight recorder,
+        #: live aggregators). Called outside the lock; must not raise.
+        self.sinks: list = []
 
     # -- lifecycle -------------------------------------------------------------
     def enable(self, reset: bool = True) -> None:
@@ -211,9 +214,27 @@ class Tracer:
             self._local.stack = stack
         return stack
 
+    def clear_recorded(self) -> None:
+        """Drop finished spans/events but keep the epoch and id counter.
+
+        Worker-side capture uses this between batches: the epoch must
+        stay aligned with the parent's so merged timestamps land on one
+        timeline, and ids must keep advancing so adopted spans never
+        collide.
+        """
+        with self._lock:
+            self._spans = []
+            self._events = []
+            self._local = threading.local()
+
     def _record(self, span: Span) -> None:
         with self._lock:
             self._spans.append(span)
+        for sink in self.sinks:
+            try:
+                sink(span)
+            except Exception:
+                pass
 
     def span(self, name: str, **attrs: Any):
         """Start a span; returns a context manager.

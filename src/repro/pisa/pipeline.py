@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 from ..lang import ast
 from ..lang.symbols import eval_static
+from ..obs import flight
 from ..obs import metrics as obs_metrics
 from ..obs import trace
 from .hashing import hash_family
@@ -549,6 +550,8 @@ class Pipeline:
                 help="Packets processed through batched pipeline runs.",
                 labels=("engine",),
             ).inc(count, engine=self.engine)
+            flight.note("batch", "pisa.batch", engine=self.engine,
+                        workers=workers, packets=count)
             return result
 
     def _process_many(self, packets, collect: bool, callback,

@@ -52,6 +52,8 @@ from typing import Optional
 import numpy as np
 
 from ..fabric.shard import key_hash
+from ..obs import merge_worker_obs, metrics, obs_control, trace
+from ..obs.aggregate import WorkerObsCapture
 from .interp import SimulationError
 from .sharded import classify_registers, shard_assignments, _merge_deltas
 from .tables import TableEntry
@@ -361,8 +363,11 @@ class WorkerPool:
                 # "begin" rides immediately ahead of the first chunk in
                 # the pipe so each worker wakes once per batch, not once
                 # for the preamble and again for its first real work.
+                # The obs control tuple keeps worker tracers in lockstep
+                # with the parent's enablement and clock epoch.
+                ctl = obs_control()
                 for conn in self._conns:
-                    conn.send(("begin", collect, ops))
+                    conn.send(("begin", collect, ops, ctl))
             for conn in self._conns:
                 conn.send(msg)
             seq += 1
@@ -380,10 +385,16 @@ class WorkerPool:
                     acked[wid] += 1
                     continue
                 break
-            _tag, count, busy, delta_meta, nrelowers = msg
+            _tag, count, busy, delta_meta, nrelowers, obs_payload = msg
             counts_out[wid] = count
             busys[wid] = busy
             relowers[wid] = nrelowers
+            # Fold the worker's spans and metric deltas into the global
+            # tracer/registry, under the live pisa.batch span, on a
+            # dedicated Chrome-trace track per worker.
+            merge_worker_obs(obs_payload, worker=wid,
+                             track=1_000_000 + wid,
+                             track_name=f"pool-worker-{wid}")
             off = wid * lay.delta_worker_bytes
             for name, k in delta_meta:
                 idx = _shm_array(self._delta_shm, off, k, np.int64)
@@ -514,6 +525,8 @@ class _Worker:
         self.busy = 0.0
         self.failed: Optional[str] = None
         self.relowers = 0
+        self.capture = WorkerObsCapture()
+        self._batch_span = None
 
     def loop(self) -> None:
         while True:
@@ -525,13 +538,14 @@ class _Worker:
             if tag == "ping":
                 self.conn.send(("pong", self.wid))
             elif tag == "begin":
-                self._begin(collect=msg[1], ops=msg[2])
+                self._begin(collect=msg[1], ops=msg[2],
+                            ctl=msg[3] if len(msg) > 3 else None)
             elif tag == "chunk":
                 self._chunk(*msg[1:])
             elif tag == "close":
                 return
 
-    def _begin(self, collect: bool, ops: list[tuple]) -> None:
+    def _begin(self, collect: bool, ops: list[tuple], ctl=None) -> None:
         registers = self.pipeline.registers
         for name, view in self.reg_views.items():
             registers.get(name)._data[:] = view
@@ -539,6 +553,12 @@ class _Worker:
         self.count = 0
         self.busy = 0.0
         self.failed = None
+        self.capture.begin(ctl)
+        # Enter a batch-spanning root manually (the bracket is two pipe
+        # messages apart); _end() closes and ships it.
+        span = trace.span("pisa.worker.batch", worker=self.wid,
+                          shard_mode="pool")
+        self._batch_span = span.__enter__() if span else None
         if ops:
             self._apply_ops(ops)
 
@@ -636,7 +656,21 @@ class _Worker:
             _shm_array(self.delta_shm, off, k, np.uint64)[:] = local[changed]
             off += k * 8
             meta.append((name, k))
-        self.conn.send(("done", self.count, self.busy, meta, self.relowers))
+        # Workers count only their own share (never p4all_packets_total
+        # — the parent's batch wrapper owns that, so merged totals match
+        # inline mode exactly).
+        metrics.counter(
+            "p4all_worker_packets_total",
+            help="Packets executed inside worker processes.",
+            labels=("worker", "shard_mode"),
+        ).inc(self.count, worker=self.wid, shard_mode="pool")
+        if self._batch_span is not None:
+            self._batch_span.set_attrs(packets=self.count, busy=self.busy,
+                                       relowers=self.relowers)
+            self._batch_span.__exit__(None, None, None)
+            self._batch_span = None
+        self.conn.send(("done", self.count, self.busy, meta, self.relowers,
+                        self.capture.finish()))
 
 
 # ---------------------------------------------------------------------------

@@ -59,8 +59,10 @@ from typing import Optional
 import numpy as np
 
 from ..lang import ast
+from ..obs import merge_worker_obs
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs.aggregate import WorkerObsCapture
 from .compiled import _REG_METHODS, _NotStatic, _fold
 
 __all__ = ["run_sharded", "classify_registers", "shard_assignments",
@@ -183,7 +185,8 @@ def shard_assignments(packets, workers: int,
 # ---------------------------------------------------------------------------
 
 
-def _run_partition(pipeline, packets, collect: bool):
+def _run_partition(pipeline, packets, collect: bool, worker: int = 0,
+                   shard_mode: str = "inline"):
     """Run one worker's packets; returns (count, busy_s, deltas, results).
 
     ``busy_s`` is the worker's *CPU* seconds for its partition, not wall
@@ -200,8 +203,16 @@ def _run_partition(pipeline, packets, collect: bool):
     registers = pipeline.registers
     before = {name: registers.get(name).dump() for name in registers.names()}
     start = time.process_time()
-    result = pipeline._process_many(packets, collect, None)
+    with trace.span("pisa.worker.batch", worker=worker,
+                    shard_mode=shard_mode) as span:
+        result = pipeline._process_many(packets, collect, None)
+        span.set_attrs(packets=len(packets))
     busy = time.process_time() - start
+    obs_metrics.counter(
+        "p4all_worker_packets_total",
+        help="Packets executed inside worker processes.",
+        labels=("worker", "shard_mode"),
+    ).inc(len(packets), worker=worker, shard_mode=shard_mode)
     deltas: dict[str, tuple] = {}
     for name, snap in before.items():
         data = registers.get(name)._data
@@ -354,13 +365,13 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
         # No fork on this platform: run the partitions sequentially.
         # Same partitioning, same merge discipline, no parallelism.
         mode = "inline"
-        for shard in shards:
+        for w, shard in enumerate(shards):
             before = {
                 name: pipeline.registers.get(name).dump()
                 for name in pipeline.registers.names()
             }
             count, busy, deltas, results = _run_partition(
-                pipeline, shard, collect)
+                pipeline, shard, collect, worker=w, shard_mode="inline")
             # The partition already ran in-place; undo and re-apply via
             # the merge path so inline and fork joins are bit-identical.
             for name, snap in before.items():
@@ -372,13 +383,19 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
         _merge_deltas(pipeline, classes, worker_deltas)
     else:
         procs = []
-        for shard in shards:
+        for w, shard in enumerate(shards):
             parent_conn, child_conn = ctx.Pipe(duplex=False)
 
-            def child_main(conn=child_conn, shard=shard):
+            def child_main(conn=child_conn, shard=shard, w=w):
                 try:
-                    payload = _run_partition(pipeline, shard, collect)
-                    conn.send(("ok", payload))
+                    # Forked at batch time, so the inherited tracer
+                    # state (enablement, epoch) is already the
+                    # parent's; capture just needs a metrics baseline.
+                    capture = WorkerObsCapture()
+                    capture.begin()
+                    payload = _run_partition(pipeline, shard, collect,
+                                             worker=w, shard_mode="fork")
+                    conn.send(("ok", payload + (capture.finish(),)))
                 except BaseException as exc:  # surfaced in the parent
                     conn.send(("err", repr(exc)))
                 finally:
@@ -389,7 +406,7 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
             child_conn.close()
             procs.append((proc, parent_conn))
         failures: list[str] = []
-        for proc, conn in procs:
+        for w, (proc, conn) in enumerate(procs):
             try:
                 status, payload = conn.recv()
             except EOFError:
@@ -402,7 +419,10 @@ def _run_sharded_body(pipeline, packets, collect, workers, shard_field):
                 worker_deltas.append({})
                 worker_results.append([] if collect else None)
                 continue
-            count, busy, deltas, results = payload
+            count, busy, deltas, results, obs_payload = payload
+            merge_worker_obs(obs_payload, worker=w,
+                             track=1_000_000 + w,
+                             track_name=f"shard-worker-{w}")
             counts.append(count)
             busys.append(busy)
             worker_deltas.append(deltas)

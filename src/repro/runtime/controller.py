@@ -32,6 +32,7 @@ from ..core.errors import CompileError
 from ..obs import bridge_telemetry
 from ..obs import metrics as obs_metrics
 from ..obs import trace
+from ..obs.slo import SloMonitor
 from ..pisa import Packet
 from ..pisa.resources import TargetSpec
 from .migrate import MigrationReport, migrate_netcache_state
@@ -63,6 +64,8 @@ class RuntimeConfig:
     workers: int | None = None        # flow-sharded serve processes
                                       # (batched serve only); None =
                                       # REPRO_PISA_WORKERS, or 1
+    slo_rules: tuple | None = None    # SLO rules (None = defaults, see
+                                      # repro.obs.slo.default_slo_rules)
 
 
 @dataclass
@@ -96,6 +99,9 @@ class RunReport:
     timeline: list[float] = field(default_factory=list)   # per-window hit rate
     reconfigs: list[ReconfigRecord] = field(default_factory=list)
     final_symbols: dict[str, int] = field(default_factory=dict)
+    #: structured SLO violations raised during the run (see
+    #: :mod:`repro.obs.slo`)
+    slo_violations: list[dict] = field(default_factory=list)
 
     @property
     def module_attribution(self) -> dict:
@@ -159,6 +165,7 @@ class RunReport:
             "final_symbols": self.final_symbols,
             "recovery_ratio": self.recovery_ratio(),
             "module_attribution": self.module_attribution,
+            "slo_violations": list(self.slo_violations),
             "reconfigs": [
                 {
                     "cause": r.cause,
@@ -222,6 +229,11 @@ class ElasticRuntime:
         self._pending_target: TargetSpec | None = None
         self._scheduled: list[tuple[int, TargetSpec]] = []
         self._last_reconfig_window = -(10 ** 9)
+        #: Per-tenant SLO monitoring. Subjects are the linked modules
+        #: ("cms", "kv" for the default NetCache pair) or "app" for
+        #: string-composed sources.
+        self.slo = SloMonitor(rules=self.config.slo_rules,
+                              telemetry=self.telemetry)
         #: test hook: called with the candidate app before commit; raising
         #: aborts the swap (exercises the rollback path).
         self.pre_commit_check: Callable[[NetCacheApp], None] | None = None
@@ -243,6 +255,13 @@ class ElasticRuntime:
     def source_text(self) -> str:
         """The P4All source text regardless of how it was composed."""
         return self.source if isinstance(self.source, str) else self.source.source
+
+    @property
+    def tenants(self) -> list[str]:
+        """SLO subjects: the linked modules, or ``"app"`` when the
+        source is a plain string with no module identity."""
+        names = getattr(self.source, "module_names", None)
+        return list(names) if names else ["app"]
 
     def _build_app(self, compiled) -> NetCacheApp:
         return NetCacheApp(
@@ -291,6 +310,20 @@ class ElasticRuntime:
             "p4all_reconfig_seconds",
             help="End-to-end wall time of one reconfiguration cycle.",
         ).observe(record.seconds)
+        self.slo.observe("reconfig_seconds", cause, record.seconds,
+                         packet_index=self.packets_processed)
+        if record.committed and record.module_attribution:
+            # Headroom of each tenant's weighted utility over its
+            # declared floor: the ILP promised >= 0; tell the SLO
+            # monitor what the committed layout actually delivers.
+            floors = getattr(self.source, "floors", None) or {}
+            for module, attrib in record.module_attribution.items():
+                if module == "(app)":
+                    continue
+                headroom = (attrib.get("utility", 0.0)
+                            - floors.get(module, 0.0))
+                self.slo.observe("utility_headroom", module, headroom,
+                                 packet_index=self.packets_processed)
         return record
 
     def _reconfigure(self, cause: str) -> ReconfigRecord:
@@ -473,7 +506,11 @@ class ElasticRuntime:
                     hit_rate=sample.hit_rate,
                     occupancy=TrafficMonitor.structure_occupancy(self.app),
                 )
+                for tenant in self.tenants:
+                    self.slo.observe("hit_rate", tenant, sample.hit_rate,
+                                     packet_index=self.packets_processed)
             run_span.set_attrs(hit_rate=report.hit_rate,
                                reconfigs=len(report.reconfigs))
         report.final_symbols = dict(self.app.compiled.symbol_values)
+        report.slo_violations = list(self.slo.violations)
         return report

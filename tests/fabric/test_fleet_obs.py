@@ -1,0 +1,99 @@
+"""Fleet observability: fleet-level spans, per-switch reconfig
+attribution, and the FleetReport bridge into the span tree."""
+
+import pytest
+
+from repro import obs
+from repro.fabric import FabricTopology, FleetConfig, FleetController
+from repro.runtime import TelemetryBus
+from repro.workloads import ZipfGenerator
+
+
+@pytest.fixture(autouse=True)
+def _clean_trace():
+    """These tests drive the global tracer the fabric instrumentation
+    records on; restore it disabled+empty afterwards."""
+    yield
+    obs.trace.disable()
+    obs.trace.reset()
+
+
+def make_controller(mini64, cache, n=3, **config):
+    fabric = FabricTopology.flat(n, mini64)
+    return FleetController(
+        fabric,
+        config=FleetConfig(window_packets=500, vnodes=32, **config),
+        telemetry=TelemetryBus(),
+        cache=cache,
+    )
+
+
+def _fleet_reconfigs(switch: str) -> float:
+    metric = obs.metrics.get("p4all_fleet_reconfigs_total")
+    if metric is None:
+        return 0.0
+    return sum(v for key, v in metric.to_dict()["values"].items()
+               if key.split(",")[0] == switch)
+
+
+class TestFleetSpans:
+    def test_install_records_fleet_install_and_plan(self, mini64,
+                                                    shared_cache):
+        obs.trace.enable()
+        controller = make_controller(mini64, shared_cache)
+        controller.install_all()
+        [install] = obs.trace.spans_named("fleet.install")
+        assert install.attrs["switches"] == 3
+        plans = obs.trace.spans_named("fleet.plan")
+        assert plans and plans[0].attrs["switches"] >= 1
+
+    def test_scheduled_cut_records_fleet_migrate_free_swap(self, mini64,
+                                                           mini32,
+                                                           shared_cache):
+        obs.trace.enable()
+        controller = make_controller(mini64, shared_cache)
+        controller.schedule_cut(1000, "s0", mini32)
+        before = _fleet_reconfigs("s0")
+        report = controller.run(ZipfGenerator(3000, alpha=1.1, seed=9),
+                                3000)
+        assert len(report.reconfigs) == 1
+
+        # The per-switch fleet counter attributes the cut to s0.
+        assert _fleet_reconfigs("s0") == before + 1
+        metric = obs.metrics.get("p4all_fleet_reconfigs_total")
+        keys = [k.split(",") for k in metric.to_dict()["values"]]
+        assert ["s0", "scheduled-cut", "committed"] in keys \
+            or any(k[0] == "s0" and k[2] == "committed" for k in keys)
+
+        # The replan for the cut ran inside a fleet.plan span.
+        plans = obs.trace.spans_named("fleet.plan")
+        assert plans
+        swaps = obs.trace.spans_named("fabric.swap")
+        assert any(s.attrs["switch"] == "s0" and s.attrs["committed"]
+                   for s in swaps)
+
+    def test_run_bridges_fleet_report_into_run_span(self, mini64, mini32,
+                                                    shared_cache):
+        obs.trace.enable()
+        controller = make_controller(mini64, shared_cache)
+        controller.schedule_cut(500, "s1", mini32)
+        report = controller.run(ZipfGenerator(3000, alpha=1.1, seed=13),
+                                2000)
+        [run_span] = obs.trace.spans_named("fabric.run")
+        names = {e.name for e in run_span.events}
+        assert "fleet.report" in names
+        assert "fleet.reconfig" in names
+        [summary] = [e for e in run_span.events
+                     if e.name == "fleet.report"]
+        assert summary.attrs["packets"] == report.packets
+        assert summary.attrs["reconfigs"] == len(report.reconfigs)
+
+    def test_untraced_run_still_counts_fleet_metrics(self, mini64, mini32,
+                                                     shared_cache):
+        assert not obs.trace.enabled
+        controller = make_controller(mini64, shared_cache)
+        controller.schedule_cut(500, "s2", mini32)
+        before = _fleet_reconfigs("s2")
+        controller.run(ZipfGenerator(3000, alpha=1.1, seed=5), 2000)
+        assert _fleet_reconfigs("s2") == before + 1
+        assert len(obs.trace) == 0

@@ -66,3 +66,30 @@ class TestBridge:
         bus = TelemetryBus()
         assert bridge_telemetry(bus, Tracer(enabled=False),
                                 MetricsRegistry()) is bus
+
+    def test_payload_keys_colliding_with_core_fields_rekeyed(self):
+        # TelemetryEvent.to_dict re-keys payload fields that shadow its
+        # own core fields as data_<key>; the mirrored instant must keep
+        # both without silently dropping either.
+        tracer = Tracer(enabled=True)
+        bus = bridge_telemetry(TelemetryBus(), tracer, MetricsRegistry())
+        with tracer.span("s") as span:
+            bus.emit("window", seq=99, wall_time=1.5)
+        [ev] = span.events
+        assert ev.attrs["data_seq"] == 99
+        assert ev.attrs["data_wall_time"] == 1.5
+        assert ev.attrs["seq"] == 0           # the event's own sequence
+        assert ev.attrs["kind"] == "window"
+
+    def test_events_land_in_flight_ring(self):
+        from repro import obs
+
+        bus = bridge_telemetry(TelemetryBus(), Tracer(enabled=False),
+                               MetricsRegistry())
+        before = len(obs.flight)
+        bus.emit("swap_committed", packet_index=7, backend="ilp")
+        entries = obs.flight.entries()
+        assert len(obs.flight) == before + 1
+        assert entries[-1]["kind"] == "telemetry"
+        assert entries[-1]["name"] == "swap_committed"
+        assert entries[-1]["data"]["backend"] == "ilp"
